@@ -1,0 +1,71 @@
+"""E1 — §1 opening example: Π2 is "twice as fair" as Π1.
+
+Paper claim: the best attacker against Π1 always obtains maximum utility
+γ10, while Π2 reduces the unfair branch to probability 1/2, yielding
+(γ10 + γ11)/2.  Sweep over Γfair vectors.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import RUNS, TOL, all_ok, emit, lock_watch_space
+
+from repro.analysis import (
+    assess_protocol,
+    build_order,
+    check_row,
+    u_coin_contract,
+    u_naive_contract,
+)
+from repro.core import PayoffVector, STANDARD_GAMMA
+from repro.protocols import CoinOrderedContractSigning, NaiveContractSigning
+
+GAMMAS = [
+    STANDARD_GAMMA,
+    PayoffVector(0.0, 0.0, 1.0, 0.0),
+    PayoffVector(0.25, 0.0, 2.0, 0.75),
+]
+
+
+def run_experiment():
+    strategies = lock_watch_space(2)
+    rows = []
+    orders = []
+    for gamma in GAMMAS:
+        pi1 = assess_protocol(
+            NaiveContractSigning(), strategies, gamma, RUNS, seed=("e1", 1)
+        )
+        pi2 = assess_protocol(
+            CoinOrderedContractSigning(), strategies, gamma, RUNS, seed=("e1", 2)
+        )
+        scale = gamma.gamma10
+        rows.append(
+            check_row(
+                f"u(Π1) {gamma}", u_naive_contract(gamma), pi1.utility,
+                TOL * scale,
+            )
+        )
+        rows.append(
+            check_row(
+                f"u(Π2) {gamma}", u_coin_contract(gamma), pi2.utility,
+                TOL * scale,
+            )
+        )
+        orders.append(build_order([pi1, pi2], tolerance=TOL * scale))
+    return rows, orders
+
+
+def test_e01_intro_contract(benchmark, capsys):
+    rows, orders = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        capsys,
+        "E1 (§1)",
+        "Π2 (coin-ordered) is strictly fairer than Π1 (naive)",
+        ["quantity", "paper", "measured", "tol", "verdict"],
+        rows,
+    )
+    assert all_ok(rows)
+    for order in orders:
+        assert order.strictly_fairer("pi2-coin", "pi1-naive")

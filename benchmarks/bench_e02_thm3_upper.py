@@ -1,0 +1,58 @@
+"""E2 — Theorem 3: u(ΠOpt2SFE, A) ≤ (γ10 + γ11)/2 for every adversary.
+
+Sweeps the full standard strategy space (passive, lock-watching, abort at
+every round, hybrid aborts, every corruption set) on three functions and a
+grid of Γfair vectors; the sup must stay below the bound.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import TOL, all_ok, emit
+
+from repro.adversaries import strategy_space_for_protocol
+from repro.analysis import assess_protocol, bound_row, u_opt_2sfe
+from repro.core import PayoffVector, STANDARD_GAMMA
+from repro.functions import make_and, make_millionaires, make_swap
+from repro.protocols import Opt2SfeProtocol
+
+RUNS = 200  # per strategy; the space has ~20 strategies per protocol
+
+GAMMAS = [STANDARD_GAMMA, PayoffVector(0.25, 0.0, 2.0, 0.75)]
+FUNCS = [make_swap(16), make_and(), make_millionaires(6)]
+
+
+def run_experiment():
+    rows = []
+    for func in FUNCS:
+        protocol = Opt2SfeProtocol(func)
+        space = strategy_space_for_protocol(protocol)
+        for gamma in GAMMAS:
+            assessment = assess_protocol(
+                protocol, space, gamma, RUNS, seed=("e2", func.name)
+            )
+            bound = u_opt_2sfe(gamma)
+            rows.append(
+                bound_row(
+                    f"{func.name} {gamma} (best: "
+                    f"{assessment.best_attack.adversary})",
+                    bound,
+                    assessment.utility,
+                    0.09 * gamma.gamma10,
+                )
+            )
+    return rows
+
+
+def test_e02_thm3_upper_bound(benchmark, capsys):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        capsys,
+        "E2 (Thm 3)",
+        "sup_A u(ΠOpt2SFE, A) ≤ (γ10+γ11)/2 across strategies/functions/γ",
+        ["workload", "bound", "measured sup", "tol", "verdict"],
+        rows,
+    )
+    assert all_ok(rows)

@@ -1,0 +1,67 @@
+"""E5 — Lemmas 11/13: ΠOptnSFE per-t utilities.
+
+For every n in the sweep and every t in [1, n−1], the best t-adversary's
+utility is (t·γ10 + (n−t)·γ11)/n — both attained (lock-watching coalition)
+and never exceeded (strategy sweep at the largest n).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import TOL, all_ok, emit, lock_watch_space
+
+from repro.adversaries import LockWatchingAborter, fixed
+from repro.analysis import assess_protocol, check_row, estimate_utility, u_opt_nsfe
+from repro.core import STANDARD_GAMMA
+from repro.functions import make_concat
+from repro.protocols import OptNSfeProtocol
+
+RUNS = 400
+NS = (3, 4, 5, 6)
+
+
+def run_experiment():
+    gamma = STANDARD_GAMMA
+    rows = []
+    for n in NS:
+        protocol = OptNSfeProtocol(make_concat(n, 8))
+        for t in range(1, n):
+            factory = fixed(
+                f"lw-t{t}", lambda t=t: LockWatchingAborter(set(range(t)))
+            )
+            est = estimate_utility(
+                protocol, factory, gamma, RUNS, seed=("e5", n, t)
+            )
+            rows.append(
+                check_row(
+                    f"n={n} t={t}", u_opt_nsfe(gamma, n, t), est.mean, TOL
+                )
+            )
+    # Upper bound across corruption sets at n = 4.
+    protocol = OptNSfeProtocol(make_concat(4, 8))
+    assessment = assess_protocol(
+        protocol, lock_watch_space(4), gamma, 200, seed=("e5-sup",)
+    )
+    rows.append(
+        check_row(
+            "n=4 sup over all corruption sets",
+            u_opt_nsfe(gamma, 4, 3),
+            assessment.utility,
+            0.09,
+        )
+    )
+    return rows
+
+
+def test_e05_multiparty_per_t(benchmark, capsys):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        capsys,
+        "E5 (Lemmas 11/13)",
+        "u(ΠOptnSFE, A_t) = (t·γ10 + (n−t)·γ11)/n",
+        ["workload", "paper", "measured", "tol", "verdict"],
+        rows,
+    )
+    assert all_ok(rows)

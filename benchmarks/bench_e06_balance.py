@@ -1,0 +1,60 @@
+"""E6 — Lemmas 14/16: the utility-balance sum.
+
+Σ_{t=1}^{n−1} u(ΠOptnSFE, A_t) = (n−1)(γ10 + γ11)/2, and by Lemma 16 no
+protocol sums below it (checked against the dummy fair protocol, whose sum
+(n−1)·γ11 is *below* only because it is unimplementable without the trusted
+party — included as the reference line).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import all_ok, emit, per_t_lock_watchers
+
+from repro.analysis import balance_profile, check_row
+from repro.core import STANDARD_GAMMA, balanced_sum_bound, is_utility_balanced
+from repro.core import monte_carlo_tolerance
+from repro.functions import make_concat
+from repro.protocols import OptNSfeProtocol
+
+RUNS = 400
+NS = (3, 4, 5, 6, 7)
+
+
+def run_experiment():
+    gamma = STANDARD_GAMMA
+    rows = []
+    profiles = []
+    for n in NS:
+        protocol = OptNSfeProtocol(make_concat(n, 8))
+        profile = balance_profile(
+            protocol, per_t_lock_watchers(n), gamma, n_runs=RUNS, seed=("e6", n)
+        )
+        bound = balanced_sum_bound(n, gamma)
+        rows.append(
+            check_row(
+                f"n={n} Σ_t u(ΠOptnSFE, A_t)",
+                bound,
+                profile.utility_sum,
+                (n - 1) * monte_carlo_tolerance(RUNS),
+            )
+        )
+        profiles.append(profile)
+    return rows, profiles
+
+
+def test_e06_balance_sum(benchmark, capsys):
+    rows, profiles = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        capsys,
+        "E6 (Lemmas 14/16)",
+        "Σ_t u(ΠOptnSFE, A_t) attains the balanced optimum (n−1)(γ10+γ11)/2",
+        ["workload", "paper", "measured", "tol", "verdict"],
+        rows,
+    )
+    assert all_ok(rows)
+    for profile in profiles:
+        tol = (profile.n - 1) * monte_carlo_tolerance(RUNS)
+        assert is_utility_balanced(profile, tol=tol)

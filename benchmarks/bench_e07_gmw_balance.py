@@ -1,0 +1,71 @@
+"""E7 — Lemma 17: Π½GMW is not utility-balanced for even n.
+
+For even n the per-t profile is γ11 below n/2 and γ10 from n/2 up, so the
+sum overshoots the balanced optimum by (γ10 − γ11)/2; for odd n it meets
+the optimum exactly (the basis of the Π′ separation).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import all_ok, emit, per_t_lock_watchers
+
+from repro.analysis import balance_profile, check_row, threshold_gmw_balance_sum, u_threshold_gmw
+from repro.core import STANDARD_GAMMA, balanced_sum_bound, monte_carlo_tolerance
+from repro.functions import make_concat
+from repro.gmw import ThresholdGmwProtocol
+
+RUNS = 250
+NS = (3, 4, 5, 6)
+
+
+def run_experiment():
+    gamma = STANDARD_GAMMA
+    rows = []
+    overshoots = {}
+    for n in NS:
+        protocol = ThresholdGmwProtocol(make_concat(n, 8))
+        profile = balance_profile(
+            protocol, per_t_lock_watchers(n), gamma, n_runs=RUNS, seed=("e7", n)
+        )
+        for t in range(1, n):
+            rows.append(
+                check_row(
+                    f"n={n} t={t}",
+                    u_threshold_gmw(gamma, n, t),
+                    profile.per_t[t].mean,
+                    monte_carlo_tolerance(RUNS),
+                )
+            )
+        analytic_sum = threshold_gmw_balance_sum(gamma, n)
+        rows.append(
+            check_row(
+                f"n={n} Σ_t (balanced bound = "
+                f"{balanced_sum_bound(n, gamma):.3f})",
+                analytic_sum,
+                profile.utility_sum,
+                (n - 1) * monte_carlo_tolerance(RUNS),
+            )
+        )
+        overshoots[n] = profile.utility_sum - balanced_sum_bound(n, gamma)
+    return rows, overshoots
+
+
+def test_e07_gmw_not_balanced_even_n(benchmark, capsys):
+    rows, overshoots = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        capsys,
+        "E7 (Lemma 17)",
+        "Π½GMW per-t profile: even n overshoots the balanced sum by (γ10−γ11)/2",
+        ["workload", "paper", "measured", "tol", "verdict"],
+        rows,
+    )
+    assert all_ok(rows)
+    excess = (STANDARD_GAMMA.gamma10 - STANDARD_GAMMA.gamma11) / 2
+    for n, overshoot in overshoots.items():
+        if n % 2 == 0:
+            assert overshoot >= excess / 2  # strict overshoot
+        else:
+            assert abs(overshoot) <= excess / 2  # meets the bound

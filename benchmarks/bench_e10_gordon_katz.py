@@ -1,0 +1,73 @@
+"""E10 — Theorems 23/24: Gordon–Katz 1/p-security bounds and round counts.
+
+Sweeps p: the round count grows as O(p·|Y|) (domain variant) and O(p²·|Z|)
+(range variant); the worst-case known-output stopper's Pr[E10] — the
+attacker utility under ~γ = (0,0,1,0) — stays below 1/p and matches the
+exact analytic stopping probability.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import all_ok, emit
+
+from repro.adversaries import KnownOutputStopper
+from repro.analysis import check_row, gk_e10_probability
+from repro.analysis.analytic import gk_known_output_e10
+from repro.functions import make_and
+from repro.protocols import GordonKatzProtocol
+
+RUNS = 400
+PS = (2, 4, 8)
+
+
+def run_experiment():
+    rows = []
+    for p in PS:
+        protocol = GordonKatzProtocol(make_and(), p=p)
+        rows.append(
+            check_row(
+                f"domain p={p} rounds (= 20·p·|Y|)",
+                20 * p * 2,
+                protocol.reveal_rounds,
+                0,
+            )
+        )
+        # Worst-case attack: environment hands the adversary y = 1.
+        measured = gk_e10_probability(
+            protocol,
+            lambda: KnownOutputStopper(0, known_output=1),
+            (1, 1),
+            n_runs=RUNS,
+            seed=("e10", p),
+        )
+        analytic = gk_known_output_e10(protocol.alpha, 0.5, 0.5)
+        rows.append(
+            check_row(f"domain p={p} Pr[E10] (≤ 1/p = {1/p:.3f})", analytic, measured, 0.05)
+        )
+        assert measured <= 1 / p + 0.04
+    for p in (2, 3):
+        protocol = GordonKatzProtocol(make_and(), p=p, variant="range")
+        rows.append(
+            check_row(
+                f"range p={p} rounds (= 20·p²·|Z|)",
+                20 * p * p * 2,
+                protocol.reveal_rounds,
+                0,
+            )
+        )
+    return rows
+
+
+def test_e10_gordon_katz(benchmark, capsys):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        capsys,
+        "E10 (Thms 23/24)",
+        "GK protocols: O(p·|Y|)/O(p²·|Z|) rounds, attacker utility ≤ 1/p",
+        ["quantity", "paper", "measured", "tol", "verdict"],
+        rows,
+    )
+    assert all_ok(rows)

@@ -1,0 +1,78 @@
+"""E13 — Definitions 1/2 at scale: the fairness partial order over the
+whole two-party protocol zoo on the swap/contract-exchange task.
+
+Expected order (fairest first):
+  { ΠOpt2SFE, Π2 }  ≺  { Π1, single-round, gradual-release }
+with the dummy fair protocol ΦFsfe strictly fairest (it is the unreachable
+ideal reference).  Gradual release landing in the bottom class is the
+introduction's point about the resource-fairness line of work: under the
+utility lens, bitwise release buys nothing.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import RUNS, TOL, emit, lock_watch_space
+
+from repro.analysis import assess_protocol, build_order
+from repro.core import STANDARD_GAMMA
+from repro.functions import make_contract_exchange, make_swap
+from repro.protocols import (
+    CoinOrderedContractSigning,
+    DummyProtocol,
+    GradualReleaseProtocol,
+    NaiveContractSigning,
+    Opt2SfeProtocol,
+    SingleRoundProtocol,
+)
+
+
+def run_experiment():
+    gamma = STANDARD_GAMMA
+    swap = make_swap(16)
+    strategies = lock_watch_space(2)
+    protocols = [
+        DummyProtocol(swap),
+        Opt2SfeProtocol(swap),
+        CoinOrderedContractSigning(make_contract_exchange(16)),
+        NaiveContractSigning(make_contract_exchange(16)),
+        SingleRoundProtocol(swap),
+        GradualReleaseProtocol(swap),
+    ]
+    assessments = [
+        assess_protocol(p, strategies, gamma, RUNS, seed=("e13", p.name))
+        for p in protocols
+    ]
+    order = build_order(assessments, tolerance=TOL)
+    rows = [
+        [a.protocol_name, f"{a.utility:.4f}", a.best_attack.adversary]
+        for a in sorted(assessments, key=lambda a: a.utility)
+    ]
+    return order, rows
+
+
+def test_e13_partial_order(benchmark, capsys):
+    order, rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        capsys,
+        "E13 (Defs. 1/2)",
+        "measured ⪯γ order over the two-party zoo",
+        ["protocol", "best-attack utility", "best strategy"],
+        rows,
+    )
+    with capsys.disabled():
+        print(order.render() + "\n")
+    swap_name = "opt-2sfe[swap16]"
+    # The dummy ideal is fairest; among real protocols the optimal pair tops.
+    classes = order.equivalence_classes()
+    assert classes[0] == ["dummy-fair[swap16]"]
+    assert set(classes[1]) == {swap_name, "pi2-coin"}
+    assert set(classes[2]) == {
+        "pi1-naive",
+        "single-round[swap16]",
+        "gradual-release[swap16]",
+    }
+    assert order.strictly_fairer(swap_name, "pi1-naive")
+    assert order.strictly_fairer(swap_name, "gradual-release[swap16]")

@@ -1,0 +1,178 @@
+"""E14 — substrate soundness and micro-benchmarks.
+
+Not a paper table: validates the substrates every experiment stands on
+(GMW correctness + unfairness profile, crypto primitive throughput) and
+records their costs.  GMW realizing unfair SFE is the premise of the
+paper's phase-1 hybrids.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import emit
+
+from repro.adversaries import LockWatchingAborter, PassiveAdversary
+from repro.circuits import millionaires_circuit
+from repro.core import FairnessEvent, classify
+from repro.crypto import Rng, commit, deal, gen, gen_mac_key, reconstruct, sign, tag, ver
+from repro.engine import run_execution
+from repro.functions import make_millionaires
+from repro.gmw import GmwProtocol
+
+
+def gmw_sweep():
+    """GMW correctness over a random input sample + unfairness profile."""
+    spec = make_millionaires(4)
+    protocol = GmwProtocol(millionaires_circuit(4), [4, 4], spec)
+    rng = Rng("e14")
+    correct = 0
+    trials = 25
+    for k in range(trials):
+        x = rng.randrange(16)
+        y = rng.randrange(16)
+        result = run_execution(
+            protocol, (x, y), PassiveAdversary(), rng.fork(f"g{k}")
+        )
+        if result.outputs[0].value == (1 if x > y else 0):
+            correct += 1
+    unfair = 0
+    for k in range(trials):
+        result = run_execution(
+            protocol,
+            (rng.randrange(16), rng.randrange(16)),
+            LockWatchingAborter({0}),
+            rng.fork(f"a{k}"),
+        )
+        if classify(result, spec) is FairnessEvent.E10:
+            unfair += 1
+    return correct / trials, unfair / trials, len(protocol.circuit)
+
+
+def test_e14_gmw_substrate(benchmark, capsys):
+    correct, unfair, gates = benchmark.pedantic(gmw_sweep, rounds=1, iterations=1)
+    rows = [
+        ["GMW millionaires-4 correctness", 1.0, correct, 0.0,
+         "ok" if correct == 1.0 else "VIOLATED"],
+        ["GMW rushing-abort unfairness (E10 rate)", 1.0, unfair, 0.0,
+         "ok" if unfair == 1.0 else "VIOLATED"],
+        ["circuit size (gates)", "-", gates, "-", "ok"],
+    ]
+    emit(
+        capsys,
+        "E14a (substrate)",
+        "GMW realizes unfair SFE: always correct, always E10 under rushing abort",
+        ["quantity", "paper", "measured", "tol", "verdict"],
+        rows,
+    )
+    assert correct == 1.0 and unfair == 1.0
+
+
+def broadcast_sweep():
+    """Dolev–Strong: validity with honest senders, agreement under a
+    worst-case equivocating sender (the ideal broadcast channel the
+    engine and the paper assume, realized from p2p + PKI)."""
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tests"))
+    from test_broadcast import EquivocatingSender
+
+    from repro.protocols import DolevStrongBroadcast, NO_VALUE
+
+    rng = Rng("e14-bc")
+    valid = agree = 0
+    trials = 20
+    for k in range(trials):
+        protocol = DolevStrongBroadcast(5, sender=0)
+        value = rng.randrange(1 << 16)
+        result = run_execution(
+            protocol,
+            (value, 0, 0, 0, 0),
+            PassiveAdversary(),
+            rng.fork(f"v{k}"),
+        )
+        if all(rec.value == value for rec in result.outputs.values()):
+            valid += 1
+        result = run_execution(
+            protocol,
+            (0, 0, 0, 0, 0),
+            EquivocatingSender(),
+            rng.fork(f"e{k}"),
+        )
+        outputs = {rec.value for rec in result.outputs.values()}
+        if outputs == {NO_VALUE}:
+            agree += 1
+    return valid / trials, agree / trials
+
+
+def test_e14_broadcast_substrate(benchmark, capsys):
+    valid, agree = benchmark.pedantic(broadcast_sweep, rounds=1, iterations=1)
+    rows = [
+        ["Dolev–Strong validity (honest sender)", 1.0, valid, 0.0,
+         "ok" if valid == 1.0 else "VIOLATED"],
+        ["Dolev–Strong agreement (equivocating sender)", 1.0, agree, 0.0,
+         "ok" if agree == 1.0 else "VIOLATED"],
+    ]
+    emit(
+        capsys,
+        "E14b (substrate)",
+        "authenticated broadcast realizes the engine's ideal channel",
+        ["quantity", "paper", "measured", "tol", "verdict"],
+        rows,
+    )
+    assert valid == 1.0 and agree == 1.0
+
+
+def test_e14_mac_throughput(benchmark):
+    rng = Rng("mac-bench")
+    key = gen_mac_key(rng)
+    benchmark(lambda: tag(123456789, key))
+
+
+def test_e14_commitment_throughput(benchmark):
+    rng = Rng("com-bench")
+    benchmark(lambda: commit(123456789, rng))
+
+
+def test_e14_lamport_keygen(benchmark):
+    rng = Rng("sig-bench")
+    benchmark(lambda: gen(rng))
+
+
+def test_e14_lamport_sign_verify(benchmark):
+    rng = Rng("sv-bench")
+    sk, vk = gen(rng)
+
+    def sign_and_verify():
+        assert ver("y", sign("y", sk), vk)
+
+    benchmark(sign_and_verify)
+
+
+def test_e14_authenticated_sharing(benchmark):
+    rng = Rng("share-bench")
+
+    def deal_and_reconstruct():
+        s1, s2 = deal(99, rng)
+        assert reconstruct(s1, s2.wire_message()) == 99
+
+    benchmark(deal_and_reconstruct)
+
+
+def test_e14_full_opt2sfe_execution(benchmark):
+    from repro.functions import make_swap
+    from repro.protocols import Opt2SfeProtocol
+
+    protocol = Opt2SfeProtocol(make_swap(16))
+    rng = Rng("exec-bench")
+    counter = [0]
+
+    def one_execution():
+        counter[0] += 1
+        run_execution(
+            protocol, (3, 9), LockWatchingAborter({0}), rng.fork(str(counter[0]))
+        )
+
+    benchmark(one_execution)

@@ -1,0 +1,97 @@
+"""E18 (ablation) — the price of fairness: the utility-vs-rounds frontier.
+
+The paper's two-sided optimality story: ΠOpt2SFE is both optimally fair
+for arbitrary functions *and* reconstruction-round-optimal (Lemmas 9-10),
+while for poly-domain functions the GK protocols buy arbitrarily low
+unfairness with linearly many rounds (Theorem 23).  We chart every
+two-party protocol on the (best-attack utility, rounds) plane and verify
+the expected Pareto frontier: Π1 is cheapest and unfairest, ΠOpt2SFE is
+the 4-round optimum, the GK points trade rounds for utility, and the
+single-round/gradual-release strawmen are strictly dominated.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import emit, lock_watch_space
+
+from repro.adversaries import KnownOutputStopper, fixed
+from repro.analysis import fairness_cost_frontier, pareto_optimal
+from repro.core import PARTIAL_FAIRNESS_GAMMA
+from repro.functions import make_and
+from repro.protocols import (
+    GordonKatzProtocol,
+    GradualReleaseProtocol,
+    NaiveContractSigning,
+    Opt2SfeProtocol,
+    SingleRoundProtocol,
+)
+from repro.functions import make_contract_exchange
+
+RUNS = 300
+
+
+def run_experiment():
+    # Common task: AND (so the GK protocols are admissible); the pure
+    # unfairness-probability payoff γ = (0,0,1,0) makes utilities
+    # comparable across the Fsfe⊥ and Fsfe$ regimes.
+    gamma = PARTIAL_FAIRNESS_GAMMA
+    and_fn = make_and()
+    lw = lock_watch_space(2)
+    gk_strategies = [
+        fixed("gk-known-0", lambda: KnownOutputStopper(0, known_output=1)),
+        fixed("gk-known-1", lambda: KnownOutputStopper(1, known_output=1)),
+    ]
+    entries = [
+        (NaiveContractSigning(make_contract_exchange(16)), lw),
+        (SingleRoundProtocol(and_fn), lw),
+        (GradualReleaseProtocol(and_fn), lw),
+        (Opt2SfeProtocol(and_fn), lw),
+        (GordonKatzProtocol(and_fn, p=2), gk_strategies),
+        (GordonKatzProtocol(and_fn, p=4), gk_strategies),
+    ]
+    points = fairness_cost_frontier(
+        entries, gamma, n_runs_utility=RUNS, n_runs_cost=10, seed="e18"
+    )
+    frontier = {p.protocol_name for p in pareto_optimal(points)}
+    rows = [
+        [
+            p.protocol_name,
+            f"{p.utility:.4f}",
+            f"{p.rounds:.0f}",
+            f"{p.total_messages:.0f}",
+            "frontier" if p.protocol_name in frontier else "dominated",
+        ]
+        for p in points
+    ]
+    return rows, points, frontier
+
+
+def test_e18_cost_of_fairness(benchmark, capsys):
+    rows, points, frontier = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    emit(
+        capsys,
+        "E18 (cost-of-fairness frontier)",
+        "utility (γ=(0,0,1,0)) vs rounds: fairness is bought with rounds",
+        ["protocol", "best-attack utility", "rounds", "messages", "pareto"],
+        rows,
+    )
+    by_name = {p.protocol_name: p for p in points}
+    # The strawmen are unfair at minimal rounds; ΠOpt2SFE halves the
+    # utility at 4 rounds; GK keeps buying utility with rounds.
+    assert by_name["pi1-naive"].utility > 0.9
+    assert abs(by_name["opt-2sfe[and]"].utility - 0.5) < 0.09
+    gk2 = by_name["gk-domain[and,p=2]"]
+    gk4 = by_name["gk-domain[and,p=4]"]
+    assert gk2.utility < 0.5 and gk4.utility < gk2.utility + 0.05
+    assert gk4.rounds > gk2.rounds > by_name["opt-2sfe[and]"].rounds
+    # ΠOpt2SFE and the GK points sit on the frontier; the single-round and
+    # gradual-release strawmen are dominated by Π1 (same utility, fewer
+    # rounds) or by ΠOpt2SFE.
+    assert "opt-2sfe[and]" in frontier
+    assert "gk-domain[and,p=2]" in frontier
+    assert "gradual-release[and]" not in frontier

@@ -1,0 +1,52 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's quantitative claims (see
+DESIGN.md §3) and prints a paper-vs-measured table; pytest-benchmark
+records the wall-clock cost of the measurement itself.
+"""
+
+from __future__ import annotations
+
+from repro.adversaries import LockWatchingAborter, corruption_sets, fixed
+from repro.analysis import experiment_banner, format_table
+from repro.core import monte_carlo_tolerance
+
+#: Monte-Carlo budget for benchmark measurements.
+RUNS = 600
+
+#: Statistical tolerance paired with RUNS (plus a small model slack).
+TOL = monte_carlo_tolerance(RUNS) + 0.02
+
+
+def lock_watch_space(n, max_corruptions=None):
+    """Lock-watching strategies over every corruption set."""
+    return [
+        fixed(f"lock-watch{sorted(s)}", lambda s=s: LockWatchingAborter(set(s)))
+        for s in corruption_sets(n, max_corruptions)
+    ]
+
+
+def per_t_lock_watchers(n):
+    """One prefix-coalition lock-watcher per corruption budget t."""
+    return {
+        t: [
+            fixed(
+                f"lock-watch-t{t}",
+                lambda t=t: LockWatchingAborter(set(range(t))),
+            )
+        ]
+        for t in range(1, n)
+    }
+
+
+def emit(capsys, exp_id: str, claim: str, headers, rows) -> None:
+    """Print an experiment table past pytest's capture."""
+    text = "\n".join(
+        [experiment_banner(exp_id, claim), format_table(headers, rows), ""]
+    )
+    with capsys.disabled():
+        print("\n" + text)
+
+
+def all_ok(rows) -> bool:
+    return all(row[-1] == "ok" for row in rows)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Fairness tournament: place the whole two-party protocol zoo in the
+⪯γ partial order, across several payoff vectors.
+
+This is Definition 1/2 used as a *tool*: given arbitrary protocols for the
+same task, measure each one's best attacker and rank them.  The ideal
+dummy protocol ΦFsfe is included as the unreachable reference point.
+
+Run:  python examples/fairness_tournament.py
+"""
+
+from repro.adversaries import strategy_space_for_protocol
+from repro.analysis import assess_protocol, build_order, format_table
+from repro.core import PayoffVector, STANDARD_GAMMA, monte_carlo_tolerance
+from repro.functions import make_contract_exchange, make_swap
+from repro.protocols import (
+    CoinOrderedContractSigning,
+    DummyProtocol,
+    NaiveContractSigning,
+    Opt2SfeProtocol,
+    SingleRoundProtocol,
+)
+
+RUNS = 300
+
+GAMMAS = {
+    "standard (γ10=1, γ11=0.5)": STANDARD_GAMMA,
+    "pure-unfairness (γ10=1, rest 0)": PayoffVector(0.0, 0.0, 1.0, 0.0),
+    "grudging (γ00=0.25, γ10=2, γ11=0.75)": PayoffVector(0.25, 0.0, 2.0, 0.75),
+}
+
+
+def build_zoo():
+    swap = make_swap(16)
+    contract = make_contract_exchange(16)
+    return [
+        DummyProtocol(swap),
+        Opt2SfeProtocol(swap),
+        CoinOrderedContractSigning(contract),
+        NaiveContractSigning(contract),
+        SingleRoundProtocol(swap),
+    ]
+
+
+def main() -> None:
+    for label, gamma in GAMMAS.items():
+        print(f"\n=== payoff vector: {label} ===\n")
+        assessments = []
+        rows = []
+        for protocol in build_zoo():
+            space = strategy_space_for_protocol(protocol)
+            assessment = assess_protocol(
+                protocol, space, gamma, RUNS, seed=("tournament", protocol.name)
+            )
+            assessments.append(assessment)
+            rows.append(
+                [
+                    protocol.name,
+                    f"{assessment.utility:.4f}",
+                    assessment.best_attack.adversary,
+                    len(space),
+                ]
+            )
+        rows.sort(key=lambda r: float(r[1]))
+        print(
+            format_table(
+                ["protocol", "sup utility", "best strategy", "|strategy space|"],
+                rows,
+            )
+        )
+        order = build_order(
+            assessments, tolerance=monte_carlo_tolerance(RUNS, spread=gamma.gamma10)
+        )
+        print()
+        print(order.render())
+
+
+if __name__ == "__main__":
+    main()

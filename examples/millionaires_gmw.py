@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""The millionaires' problem, bottom to top.
+
+Three ways to run [x1 > x2] and what each concedes to an attacker:
+
+1. raw GMW over the comparison circuit — correct, but the rushing
+   adversary always steals the output and aborts (utility γ10);
+2. ΠOpt2SFE on the same function — the optimum (γ10 + γ11)/2;
+3. the Gordon–Katz 1/p protocol — utility ≤ 1/p, available here because
+   the domain is polynomial (unlike swap).
+
+Run:  python examples/millionaires_gmw.py
+"""
+
+from repro.adversaries import (
+    KnownOutputStopper,
+    LockWatchingAborter,
+    PassiveAdversary,
+    fixed,
+)
+from repro.analysis import estimate_utility, format_table, gk_e10_probability
+from repro.core import PARTIAL_FAIRNESS_GAMMA, STANDARD_GAMMA
+from repro.crypto import Rng
+from repro.circuits import millionaires_circuit
+from repro.engine import run_execution
+from repro.functions import make_millionaires
+from repro.gmw import GmwProtocol
+from repro.protocols import GordonKatzProtocol, Opt2SfeProtocol
+
+BITS = 4
+RUNS = 400
+
+
+def main() -> None:
+    spec = make_millionaires(BITS)
+    gmw = GmwProtocol(millionaires_circuit(BITS), [BITS, BITS], spec)
+
+    # Sanity: GMW computes the comparison correctly.
+    result = run_execution(gmw, (11, 7), PassiveAdversary(), Rng("demo"))
+    print(
+        f"GMW over {len(gmw.circuit)} gates: is 11 > 7?  ->  "
+        f"{bool(result.outputs[0].value)}  "
+        f"({result.rounds_used} rounds, "
+        f"{len(gmw.build_functionalities(Rng(0)))} OT instances)\n"
+    )
+
+    lock0 = fixed("lock-watch[p1]", lambda: LockWatchingAborter({0}))
+    rows = []
+
+    est = estimate_utility(gmw, lock0, STANDARD_GAMMA, RUNS, seed="m1")
+    rows.append(["raw GMW", f"{est.mean:.3f}", "γ10 — totally unfair"])
+
+    opt = Opt2SfeProtocol(spec)
+    est = estimate_utility(opt, lock0, STANDARD_GAMMA, RUNS, seed="m2")
+    rows.append(
+        ["ΠOpt2SFE", f"{est.mean:.3f}", "(γ10+γ11)/2 — the general optimum"]
+    )
+
+    for p in (2, 4):
+        gk = GordonKatzProtocol(spec, p=p)
+        prob = gk_e10_probability(
+            gk,
+            lambda: KnownOutputStopper(0, known_output=1),
+            (11, 7),
+            n_runs=RUNS,
+            seed=f"m3-{p}",
+        )
+        rows.append(
+            [
+                f"Gordon–Katz p={p} ({gk.reveal_rounds} rounds)",
+                f"{prob:.3f}",
+                f"≤ 1/p = {1/p} — buys fairness with rounds",
+            ]
+        )
+
+    print(
+        format_table(
+            ["protocol", "best-attack utility*", "paper prediction"], rows
+        )
+    )
+    print(
+        "\n* utilities under γ = (0,0,1,0.5) for the first two rows and "
+        "γ = (0,0,1,0) (pure unfairness probability) for the GK rows."
+    )
+    print(
+        "\nThe trade-off the paper formalises: for *arbitrary* functions "
+        "(exponential domains) no protocol beats (γ10+γ11)/2, but "
+        "poly-domain functions like this one can push unfairness down to "
+        "any 1/p at the price of O(p·|domain|) rounds."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Utility-based fairness vs 1/p-security (paper §5), executed.
+
+Two demonstrations:
+
+1. **Theorem 23** — the Gordon–Katz protocol realizes the randomized-abort
+   functionality Fsfe$: we run its explicit simulator and show the real and
+   ideal outcome distributions coincide, while the unfair event stays under
+   1/p.
+2. **Lemmas 26/27** — the leaky protocol Π̃ passes both conditions of
+   1/p-security (we simulate its corrupted view perfectly), yet the Z1/Z2
+   distinguishers certify it realizes no Fsfe$ simulator: 1/p-security is
+   strictly weaker than utility-based fairness.
+
+Run:  python examples/partial_fairness_demo.py
+"""
+
+from repro.adversaries import FixedRoundStopper, KnownOutputStopper
+from repro.analysis import (
+    format_table,
+    gk_e10_probability,
+    gk_realization_distance,
+    leaky_distinguisher_probabilities,
+    leaky_ideal_bound_violated,
+    leaky_privacy_distance,
+)
+from repro.functions import make_and
+from repro.protocols import GordonKatzProtocol
+
+RUNS = 600
+
+
+def gordon_katz_demo() -> None:
+    print("— Theorem 23: GK realizes Fsfe$ —\n")
+    rows = []
+    for p in (2, 4):
+        protocol = GordonKatzProtocol(make_and(), p=p)
+        stopper = lambda: KnownOutputStopper(0, known_output=1)
+        distance = gk_realization_distance(
+            protocol, stopper, (1, 1), n_runs=RUNS, seed=f"pf-{p}"
+        )
+        e10 = gk_e10_probability(
+            protocol, stopper, (1, 1), n_runs=RUNS, seed=f"pe-{p}"
+        )
+        rows.append(
+            [
+                f"p={p}",
+                protocol.reveal_rounds,
+                f"{distance:.3f}",
+                f"{e10:.3f}",
+                f"{1/p:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "parameter",
+                "rounds",
+                "real-vs-ideal distance",
+                "Pr[unfair E10]",
+                "1/p budget",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nThe distance is Monte-Carlo noise: the explicit simulator "
+        "reproduces the adversary's view and the honest outcome exactly, "
+        "and the unfair event stays inside the 1/p budget.\n"
+    )
+
+
+def leaky_demo() -> None:
+    print("— Lemmas 26/27: the separating protocol Π̃ —\n")
+    p_z1, p_z2 = leaky_distinguisher_probabilities(n_runs=2 * RUNS, seed="z")
+    privacy = leaky_privacy_distance(n_runs=RUNS, seed="priv")
+    print(f"  Pr[input leaked to corrupted p2]      = {p_z2:.3f}  (by design 1/4)")
+    print(f"  privacy-simulator view distance       = {privacy:.3f}  (Π̃ IS private per [18])")
+    print(f"  Pr[Z1 = 1] = {p_z1:.3f},  Pr[Z2 = 1] = {p_z2:.3f}")
+    print(
+        "  any Fsfe$ simulator must keep Pr[Z1] ≤ ¾·Pr[Z2] = "
+        f"{0.75 * p_z2:.3f} — violated: "
+        f"{leaky_ideal_bound_violated(p_z1, p_z2, 0.03)}"
+    )
+    print(
+        "\nΠ̃ hands p1's private input to a deviating p2 a quarter of the "
+        "time, yet satisfies both 1/2-security and full privacy as defined "
+        "in [18] — the two conditions quantify over *separate* simulators. "
+        "The utility-based definition catches it, which is the paper's "
+        "strengthening of the Gordon–Katz result."
+    )
+
+
+def main() -> None:
+    gordon_katz_demo()
+    leaky_demo()
+
+
+if __name__ == "__main__":
+    main()

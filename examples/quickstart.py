@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: measure how fair two contract-signing protocols are.
+
+The paper's opening question — "which of the two protocols should the
+parties use?" — answered by measurement: we attack both protocols with
+lock-watching adversaries, fold the fairness events E00/E01/E10/E11 with a
+payoff vector ~γ, and place the protocols in the ⪯γ partial order.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.adversaries import LockWatchingAborter, fixed
+from repro.analysis import assess_protocol, build_order, format_table
+from repro.core import STANDARD_GAMMA, monte_carlo_tolerance
+from repro.protocols import CoinOrderedContractSigning, NaiveContractSigning
+
+RUNS = 800
+
+
+def main() -> None:
+    # The attacker may corrupt either party and abort the moment it holds
+    # the counterparty's signed contract.
+    strategies = [
+        fixed("corrupt-p1", lambda: LockWatchingAborter({0})),
+        fixed("corrupt-p2", lambda: LockWatchingAborter({1})),
+    ]
+
+    print(f"Payoff vector: {STANDARD_GAMMA}")
+    print(f"Monte-Carlo budget: {RUNS} runs per strategy\n")
+
+    assessments = []
+    rows = []
+    for protocol in (NaiveContractSigning(), CoinOrderedContractSigning()):
+        assessment = assess_protocol(
+            protocol, strategies, STANDARD_GAMMA, RUNS, seed="quickstart"
+        )
+        assessments.append(assessment)
+        best = assessment.best_attack
+        events = {
+            e.name: f"{p:.2f}" for e, p in best.event_distribution.items() if p
+        }
+        rows.append([protocol.name, f"{assessment.utility:.4f}", best.adversary, events])
+
+    print(format_table(
+        ["protocol", "best-attack utility", "best strategy", "event mix"], rows
+    ))
+    print()
+    order = build_order(assessments, tolerance=monte_carlo_tolerance(RUNS))
+    print(order.render())
+    print(
+        "\nΠ1 concedes the maximum payoff γ10 = "
+        f"{STANDARD_GAMMA.gamma10}; the coin toss in Π2 halves the unfair "
+        f"branch to (γ10+γ11)/2 = "
+        f"{(STANDARD_GAMMA.gamma10 + STANDARD_GAMMA.gamma11) / 2} — "
+        "Π2 is twice as fair, exactly as the paper argues."
+    )
+
+
+if __name__ == "__main__":
+    main()

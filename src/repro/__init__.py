@@ -1,0 +1,74 @@
+"""repro — utility-based protocol fairness.
+
+A full Python reproduction of Garay, Katz, Tackmann, Zikas:
+*"How Fair is Your Protocol? A Utility-based Approach to Protocol
+Optimality"* (PODC 2015): the RPD-based fairness framework, optimally fair
+two-party and multi-party SFE, utility-balanced fairness with corruption
+costs, and the comparison with Gordon–Katz 1/p-security — together with
+every substrate the constructions depend on (a synchronous execution model
+with rushing/adaptive adversaries, hash-based crypto primitives, GMW over
+boolean circuits in the OT-hybrid model, and the relaxed SFE
+functionalities).
+
+Quickstart::
+
+    from repro import quick_compare
+    print(quick_compare())
+
+See README.md for the architecture tour and DESIGN.md for the paper-to-code
+mapping.
+"""
+
+from . import (
+    adversaries,
+    analysis,
+    circuits,
+    core,
+    crypto,
+    engine,
+    functionalities,
+    functions,
+    gmw,
+    protocols,
+)
+from .core import STANDARD_GAMMA, FairnessEvent, PayoffVector
+
+__version__ = "1.0.0"
+
+
+def quick_compare(n_runs: int = 300, seed: int = 7) -> str:
+    """The paper's opening example, end to end: is Π2 fairer than Π1?"""
+    from .adversaries import LockWatchingAborter, fixed
+    from .analysis import assess_protocol, build_order
+    from .core import monte_carlo_tolerance
+    from .protocols import CoinOrderedContractSigning, NaiveContractSigning
+
+    strategies = [
+        fixed("lock-watch[0]", lambda: LockWatchingAborter({0})),
+        fixed("lock-watch[1]", lambda: LockWatchingAborter({1})),
+    ]
+    assessments = [
+        assess_protocol(protocol, strategies, STANDARD_GAMMA, n_runs, seed)
+        for protocol in (NaiveContractSigning(), CoinOrderedContractSigning())
+    ]
+    order = build_order(assessments, monte_carlo_tolerance(n_runs))
+    return order.render()
+
+
+__all__ = [
+    "adversaries",
+    "analysis",
+    "circuits",
+    "core",
+    "crypto",
+    "engine",
+    "functionalities",
+    "functions",
+    "gmw",
+    "protocols",
+    "STANDARD_GAMMA",
+    "FairnessEvent",
+    "PayoffVector",
+    "quick_compare",
+    "__version__",
+]

@@ -1,0 +1,61 @@
+"""Attack strategies: every explicit adversary from the paper's proofs plus
+systematic sweeps for sup-over-adversaries measurements."""
+
+from .base import MachineDrivingAdversary, PassiveAdversary
+from .aborting import (
+    AbortAtRound,
+    FunctionalityAborter,
+    LockWatchingAborter,
+    RandomSingleCorruption,
+    a1_strategy,
+    a2_strategy,
+)
+from .multiparty import (
+    RandomAllButOne,
+    RandomTCorruption,
+    SignalDeviator,
+    a_bar_i,
+    a_bar_nt,
+    a_hat_t,
+)
+from .adaptive import AdaptiveHolderHunter, TriggeredCorruption
+from .substitution import InputSubstitution, constant_input, max_domain_input
+from .gk_aborter import FixedRoundStopper, KnownOutputStopper
+from .leaky import LeakyInputExtractor
+from .search import (
+    AdversaryFactory,
+    corruption_sets,
+    fixed,
+    standard_strategy_space,
+    strategy_space_for_protocol,
+)
+
+__all__ = [
+    "MachineDrivingAdversary",
+    "PassiveAdversary",
+    "AbortAtRound",
+    "FunctionalityAborter",
+    "LockWatchingAborter",
+    "RandomSingleCorruption",
+    "a1_strategy",
+    "a2_strategy",
+    "RandomAllButOne",
+    "RandomTCorruption",
+    "SignalDeviator",
+    "a_bar_i",
+    "a_bar_nt",
+    "a_hat_t",
+    "AdaptiveHolderHunter",
+    "TriggeredCorruption",
+    "InputSubstitution",
+    "constant_input",
+    "max_domain_input",
+    "FixedRoundStopper",
+    "KnownOutputStopper",
+    "LeakyInputExtractor",
+    "AdversaryFactory",
+    "corruption_sets",
+    "fixed",
+    "standard_strategy_space",
+    "strategy_space_for_protocol",
+]

@@ -1,0 +1,109 @@
+"""Lock-watching abort strategies (paper Appendix A, Lemma 7 / Theorem 4).
+
+``LockWatchingAborter`` is the paper's strategy A1/A2 (and its coalition
+generalisation Aī used in Appendix B): run the corrupted machines honestly;
+in every round check — via the coalition probe — whether the corrupted side
+already holds the *actual* output were everyone else to abort now; the
+moment it does, record the output and withhold all further messages.
+
+``RandomSingleCorruption`` is Agen from Theorem 4: corrupt one uniformly
+random party and run the lock-watching strategy — achieving the average of
+A1's and A2's utilities, i.e. at least (γ10 + γ11)/2 against *any* protocol
+for the swap function.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..crypto.prf import Rng
+from ..engine.adversary import RoundInterface
+from .base import MachineDrivingAdversary
+
+
+class LockWatchingAborter(MachineDrivingAdversary):
+    """Corrupt a fixed set; abort the instant the coalition holds the
+    real output (claiming it)."""
+
+    def __init__(self, corrupt: Set[int]):
+        if not corrupt:
+            raise ValueError("lock-watching needs at least one corruption")
+        super().__init__(corrupt)
+        self.name = f"lock-watch{sorted(corrupt)}"
+
+    def should_abort(self, iface: RoundInterface, contexts) -> bool:
+        value = self.probe_real_output(iface, contexts)
+        if value is not None:
+            self.claim(iface, value)
+            return True
+        return False
+
+
+def a1_strategy() -> LockWatchingAborter:
+    """A1: statically corrupt p1 (index 0), lock-watch."""
+    return LockWatchingAborter({0})
+
+
+def a2_strategy() -> LockWatchingAborter:
+    """A2: statically corrupt p2 (index 1), lock-watch."""
+    return LockWatchingAborter({1})
+
+
+class RandomSingleCorruption(LockWatchingAborter):
+    """Agen: corrupt one random party, then lock-watch (Theorem 4)."""
+
+    def __init__(self, n: int, rng: Rng):
+        super().__init__({rng.randrange(n)})
+        self.name = "a-gen"
+
+
+class AbortAtRound(MachineDrivingAdversary):
+    """Play honestly, then go silent from round ``abort_round`` on.
+
+    With ``claim=True`` the adversary records whatever real output the
+    coalition probe yields at the abort point (it may yield none).  Used
+    for the reconstruction-round measurements (Definition 8) and failure
+    injection.
+    """
+
+    def __init__(
+        self, corrupt: Set[int], abort_round: int, claim: bool = True
+    ):
+        super().__init__(corrupt)
+        self.abort_round = abort_round
+        self.claim_on_abort = claim
+        self.name = f"abort@r{abort_round}{sorted(corrupt)}"
+
+    def should_abort(self, iface: RoundInterface, contexts) -> bool:
+        if iface.round < self.abort_round:
+            return False
+        if self.claim_on_abort:
+            value = self.probe_real_output(iface, contexts)
+            if value is not None:
+                self.claim(iface, value)
+        return True
+
+
+class FunctionalityAborter(MachineDrivingAdversary):
+    """Plays honestly but makes a named hybrid call abort.
+
+    ``ask_first`` mirrors the Fsfe⊥ attack surface: request the corrupted
+    outputs before aborting the call.  Against ΠOpt2SFE this exercises the
+    E01 branch (the honest party re-evaluates with a default input).
+    """
+
+    def __init__(
+        self, corrupt: Set[int], functionality: str, ask_first: bool = True
+    ):
+        super().__init__(corrupt)
+        self.functionality = functionality
+        self.ask_first = ask_first
+        self.name = f"func-abort[{functionality}]{sorted(corrupt)}"
+
+    def on_functionality_query(self, fname: str, query: str, data):
+        if fname == self.functionality:
+            if query == "request-outputs?":
+                return self.ask_first
+            if query == "abort?":
+                return True
+        return super().on_functionality_query(fname, query, data)

@@ -1,0 +1,98 @@
+"""Adaptive-corruption strategies.
+
+The paper's protocols are secure against *adaptive* adversaries (§4): an
+attacker may pick its victims as the execution unfolds.  These strategies
+exercise that capability:
+
+* :class:`AdaptiveHolderHunter` — against ΠOptnSFE-style protocols:
+  corrupt parties one at a time once phase 1 completes, inspecting each
+  victim's phase-1 output, hunting for the designated holder i*.  Lemma
+  11's proof argues adaptivity buys nothing here: by the time any phase-1
+  output is inspectable the holder's broadcast is already on the (ideal,
+  non-retractable) broadcast channel, so only the *initially* corrupted
+  parties matter — Pr[unfair] stays at (initial corruptions)/n, below the
+  static t/n optimum.  The tests verify exactly this.
+* :class:`TriggeredCorruption` — corrupt a fixed set only when a
+  predicate on the observed round fires (generic adaptivity harness used
+  in engine tests and failure injection).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set
+
+from ..engine.adversary import RoundInterface
+from ..functionalities.priv_sfe import PrivOutput
+from .base import MachineDrivingAdversary
+
+
+class AdaptiveHolderHunter(MachineDrivingAdversary):
+    """Corrupt up to ``budget`` parties adaptively, hunting for the
+    phase-1 output holder of ΠOptnSFE.
+
+    Starts with a single corruption; after the phase-1 response round it
+    keeps corrupting fresh parties (inspecting each new victim's machine)
+    until it finds the holder or exhausts the budget.  On a hit it claims
+    the output and withholds the broadcast.
+    """
+
+    def __init__(self, budget: int, first_victim: int = 0):
+        if budget < 1:
+            raise ValueError("need a corruption budget of at least 1")
+        super().__init__({first_victim})
+        self.budget = budget
+        self.name = f"adaptive-hunter(t={budget})"
+
+    def _holder_output(self) -> Optional[object]:
+        for runner in self._runners.values():
+            priv = getattr(runner.machine, "priv", None)
+            if isinstance(priv, PrivOutput) and priv.holds_output:
+                return priv.value[0]
+        return None
+
+    def before_round(self, iface: RoundInterface) -> None:
+        # Adaptive corruptions are decided from round 1 on, once the
+        # phase-1 responses sit in machine state (honest machines step —
+        # and broadcast — before the adversary acts each round).
+        if iface.round < 1 or self.aborted:
+            return
+        while (
+            self._holder_output() is None
+            and len(iface.corrupted) < min(self.budget, iface.n)
+            and iface.honest
+        ):
+            victim = min(iface.honest)
+            iface.corrupt(victim)
+
+    def should_abort(self, iface: RoundInterface, contexts) -> bool:
+        if iface.round < 1:
+            return False
+        value = self._holder_output()
+        if value is not None:
+            self.claim(iface, value)
+            return True
+        return False
+
+
+class TriggeredCorruption(MachineDrivingAdversary):
+    """Corrupt ``victims`` the first round ``trigger(iface)`` fires, then
+    play honestly (machine-driven) from there on."""
+
+    def __init__(
+        self,
+        victims: Set[int],
+        trigger: Callable[[RoundInterface], bool],
+    ):
+        super().__init__(set())
+        self.victims = set(victims)
+        self.trigger = trigger
+        self.fired = False
+        self.name = f"triggered{sorted(victims)}"
+
+    def before_round(self, iface: RoundInterface) -> None:
+        if self.fired or not self.trigger(iface):
+            return
+        self.fired = True
+        for victim in sorted(self.victims):
+            if victim not in iface.corrupted:
+                iface.corrupt(victim)

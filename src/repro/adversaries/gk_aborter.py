@@ -1,0 +1,105 @@
+"""Abort strategies against the Gordon–Katz reveal protocols (Theorem 23).
+
+The attack surface of the GK protocols is the stopping rule: the rushing
+adversary opens each incoming sealed token one round before the honest
+party banks it, and wins (event E10) exactly when it stops at the secret
+switch round i*.  Implemented rules:
+
+* ``KnownOutputStopper`` — the worst-case-environment attack the ShareGen
+  parameterisation is sized against: the environment tells the adversary
+  the true output y (auxiliary input); the adversary stops at the first
+  revealed value equal to y.  Success probability α/(α + q) ≈ 1/p where q
+  is the fake distribution's hit probability on y.
+* ``FixedRoundStopper`` — stop at a predetermined reveal index; success
+  probability is the geometric pmf at that index, < α.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine.adversary import RoundInterface
+from ..functionalities.share_gen import GkPartyPayload, open_sealed
+from .base import MachineDrivingAdversary
+
+_STREAM_NAMES = {0: "a", 1: "b"}
+
+
+class _GkStopperBase(MachineDrivingAdversary):
+    """Shared plumbing: track the corrupted GK machine's payload and peek
+    at the counterparty's rushing token each reveal round."""
+
+    def __init__(self, corrupt_index: int, start_round: int = 0):
+        super().__init__({corrupt_index})
+        self.corrupt_index = corrupt_index
+        self.start_round = start_round
+        #: the stream values this adversary has opened, in order
+        self.observed: list = []
+
+    def _payload(self) -> Optional[GkPartyPayload]:
+        runner = self._runners.get(self.corrupt_index)
+        if runner is None:
+            return None
+        payload = getattr(runner.machine, "payload", None)
+        return payload if isinstance(payload, GkPartyPayload) else None
+
+    def _peek_value(self, iface: RoundInterface) -> Optional[tuple]:
+        """Open this round's rushing token; returns (reveal_index, value)."""
+        payload = self._payload()
+        if payload is None:
+            return None
+        reveal_index = iface.round - self.start_round - 1
+        if not 0 <= reveal_index < payload.rounds:
+            return None
+        for message in iface.rushing_messages():
+            if message.receiver != self.corrupt_index:
+                continue
+            try:
+                value = open_sealed(
+                    message.payload,
+                    payload.incoming_pads[reveal_index],
+                    payload.mac_key,
+                    _STREAM_NAMES[self.corrupt_index],
+                )
+            except ValueError:
+                continue
+            return reveal_index, value
+        return None
+
+    def should_stop(self, reveal_index: int, value: int) -> bool:
+        raise NotImplementedError
+
+    def should_abort(self, iface: RoundInterface, contexts) -> bool:
+        peeked = self._peek_value(iface)
+        if peeked is None:
+            return False
+        reveal_index, value = peeked
+        self.observed.append(value)
+        if self.should_stop(reveal_index, value):
+            self.claim(iface, value)
+            return True
+        return False
+
+
+class KnownOutputStopper(_GkStopperBase):
+    """Stop at the first revealed value equal to the (known) output."""
+
+    def __init__(self, corrupt_index: int, known_output: int, start_round: int = 0):
+        super().__init__(corrupt_index, start_round)
+        self.known_output = known_output
+        self.name = f"gk-known-output[p{corrupt_index}]"
+
+    def should_stop(self, reveal_index: int, value: int) -> bool:
+        return value == self.known_output
+
+
+class FixedRoundStopper(_GkStopperBase):
+    """Stop at a fixed reveal index regardless of the value."""
+
+    def __init__(self, corrupt_index: int, stop_index: int, start_round: int = 0):
+        super().__init__(corrupt_index, start_round)
+        self.stop_index = stop_index
+        self.name = f"gk-fixed@{stop_index}[p{corrupt_index}]"
+
+    def should_stop(self, reveal_index: int, value: int) -> bool:
+        return reveal_index >= self.stop_index

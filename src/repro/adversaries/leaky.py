@@ -1,0 +1,47 @@
+"""The input-extraction attack on the leaky protocol Π̃ (Lemma 26).
+
+Corrupting p2, the adversary deviates in the very first message — sending a
+1-bit instead of the prescribed 0-bit — and with probability 1/4 receives
+p1's *input* in the clear.  The extraction is invisible to the two separate
+conditions of [18] (1/p-security and privacy, each with its own simulator)
+but contradicts realisation of Fsfe$, which is what the E11/E10-style
+utility analysis in our framework detects through the distinguishers Z1/Z2
+(implemented in :mod:`repro.analysis.partial_fairness`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine.adversary import RoundInterface
+from .base import MachineDrivingAdversary
+
+
+class LeakyInputExtractor(MachineDrivingAdversary):
+    """Corrupt p2, send the 1-bit, harvest the leaked input, then play the
+    embedded GK protocol honestly."""
+
+    name = "leaky-extractor"
+
+    def __init__(self):
+        super().__init__({1})
+        self.extracted_input: Optional[int] = None
+
+    def forward(self, iface: RoundInterface, index: int, ctx) -> None:
+        if iface.round == 0:
+            iface.send(1, 0, 1)  # the deviating 1-bit
+            for fname, payload in ctx.func_calls.items():
+                iface.call_functionality(index, fname, payload)
+            return
+        super().forward(iface, index, ctx)
+
+    def before_round(self, iface: RoundInterface) -> None:
+        if iface.round == 1:
+            for message in iface.rushing_messages():
+                payload = message.payload
+                if (
+                    isinstance(payload, tuple)
+                    and len(payload) == 2
+                    and payload[0] == "leak"
+                ):
+                    self.extracted_input = payload[1]

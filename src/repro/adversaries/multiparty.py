@@ -1,0 +1,100 @@
+"""Multi-party attack strategies (Appendix B).
+
+* ``a_bar_i(n, i)`` — the strategy Aī of Lemma 12: corrupt everyone except
+  pi, behave honestly, abort the moment the coalition would obtain the
+  output if pi stopped participating.
+* ``a_hat_t / a_bar_nt`` — the prefix/suffix coalitions Ât and Ān−t of
+  Lemma 15 (the two-party lower bound lifted to coalitions).
+* ``RandomAllButOne`` — the Lemma 13 mix: corrupt all but one uniformly
+  random party.
+* ``SignalDeviator`` — the 1-adversary against the Lemma-18 protocol:
+  sends 1-signals to bait the tails-branch delivery to itself.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..crypto.prf import Rng
+from ..engine.adversary import RoundInterface
+from .aborting import LockWatchingAborter
+from .base import MachineDrivingAdversary
+
+
+def a_bar_i(n: int, i: int) -> LockWatchingAborter:
+    """Aī: corrupt [n] \\ {i} and lock-watch (Lemma 12)."""
+    if not 0 <= i < n:
+        raise ValueError(f"no such party: {i}")
+    return LockWatchingAborter(set(range(n)) - {i})
+
+
+def a_hat_t(n: int, t: int) -> LockWatchingAborter:
+    """Ât: corrupt the prefix {p1, ..., pt} (Lemma 15)."""
+    if not 1 <= t <= n - 1:
+        raise ValueError(f"t must be in [1, n-1], got {t}")
+    return LockWatchingAborter(set(range(t)))
+
+
+def a_bar_nt(n: int, t: int) -> LockWatchingAborter:
+    """Ān−t: corrupt the suffix {p(t+1), ..., pn} (Lemma 15)."""
+    if not 1 <= t <= n - 1:
+        raise ValueError(f"t must be in [1, n-1], got {t}")
+    return LockWatchingAborter(set(range(t, n)))
+
+
+class RandomAllButOne(LockWatchingAborter):
+    """The Lemma-13 mix of the Aī strategies."""
+
+    def __init__(self, n: int, rng: Rng):
+        spared = rng.randrange(n)
+        super().__init__(set(range(n)) - {spared})
+        self.name = "a-bar-mix"
+
+
+class RandomTCorruption(LockWatchingAborter):
+    """A t-adversary corrupting a uniformly random t-subset, lock-watching.
+
+    Against ΠOptnSFE this is the Lemma-11-optimal attack: it catches the
+    designated output holder i* with probability t/n.
+    """
+
+    def __init__(self, n: int, t: int, rng: Rng):
+        if not 1 <= t <= n:
+            raise ValueError(f"t must be in [1, n], got {t}")
+        super().__init__(set(rng.sample(range(n), t)))
+        self.name = f"rand-{t}-corrupt"
+
+
+class SignalDeviator(MachineDrivingAdversary):
+    """The Lemma-18 1-adversary against the unbalanced-optimal protocol.
+
+    If the corrupted party holds the output after phase 1, abort (γ10).
+    Otherwise send 1-signals instead of 0-signals; with probability 1/2 the
+    holder then delivers the output *only to us* (γ10 again, as other
+    honest parties end with ⊥), else it broadcasts (γ11).
+    """
+
+    def __init__(self, corrupt: Set[int]):
+        super().__init__(corrupt)
+        self.name = f"signal-deviator{sorted(corrupt)}"
+
+    def should_abort(self, iface: RoundInterface, contexts) -> bool:
+        if iface.round != 1:
+            return False
+        # After the phase-1 response: abort outright if we hold the output.
+        value = self.probe_real_output(iface, contexts)
+        if value is not None:
+            self.claim(iface, value)
+            return True
+        return False
+
+    def forward(self, iface: RoundInterface, index: int, ctx) -> None:
+        if iface.round == 1:
+            # Replace the prescribed 0-signals with 1-signals.
+            for j in range(iface.n):
+                if j != index and j not in iface.corrupted:
+                    iface.send(index, j, ("signal", 1))
+            for fname, payload in ctx.func_calls.items():
+                iface.call_functionality(index, fname, payload)
+            return
+        super().forward(iface, index, ctx)

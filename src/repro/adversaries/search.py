@@ -1,0 +1,106 @@
+"""Strategy-space enumeration for best-response (sup over A) measurements.
+
+The paper's utilities take a supremum over all efficient adversaries; its
+proofs pin the supremum with explicit strategies.  We measure the sup over
+a strategy space containing those explicit strategies plus systematic
+sweeps (every corruption set up to a size cap x every abort round x
+functionality aborts), which by the matching upper-bound theorems is
+sufficient to attain the analytic optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Iterator, List, Optional
+
+from ..crypto.prf import Rng
+from ..engine.adversary import Adversary
+from .aborting import AbortAtRound, FunctionalityAborter, LockWatchingAborter
+from .base import PassiveAdversary
+
+
+@dataclass(frozen=True)
+class AdversaryFactory:
+    """A named constructor of fresh adversary instances (one per run)."""
+
+    name: str
+    build: Callable[[Rng], Adversary]
+
+    def __call__(self, rng: Rng) -> Adversary:
+        adversary = self.build(rng)
+        adversary.name = self.name
+        return adversary
+
+
+def fixed(name: str, constructor: Callable[[], Adversary]) -> AdversaryFactory:
+    """Factory for strategies that need no per-run randomness."""
+    return AdversaryFactory(name, lambda rng: constructor())
+
+
+def corruption_sets(n: int, max_size: Optional[int] = None) -> Iterator[frozenset]:
+    """All non-empty corruption sets up to ``max_size`` (default n−1)."""
+    cap = max_size if max_size is not None else n - 1
+    for size in range(1, cap + 1):
+        for subset in combinations(range(n), size):
+            yield frozenset(subset)
+
+
+def standard_strategy_space(
+    n: int,
+    max_rounds: int,
+    functionality_names: List[str] = (),
+    max_corruptions: Optional[int] = None,
+) -> List[AdversaryFactory]:
+    """The default sweep: passive, lock-watching, abort-at-round, and
+    functionality-abort strategies over every corruption set."""
+    factories: List[AdversaryFactory] = []
+    for subset in corruption_sets(n, max_corruptions):
+        frozen = frozenset(subset)
+        label = "".join(str(i) for i in sorted(frozen))
+        factories.append(
+            fixed(f"passive[{label}]", lambda s=frozen: PassiveAdversary(set(s)))
+        )
+        factories.append(
+            fixed(
+                f"lock-watch[{label}]",
+                lambda s=frozen: LockWatchingAborter(set(s)),
+            )
+        )
+        for r in range(max_rounds):
+            factories.append(
+                fixed(
+                    f"abort@r{r}[{label}]",
+                    lambda s=frozen, rr=r: AbortAtRound(set(s), rr),
+                )
+            )
+        for fname in functionality_names:
+            for ask in (True, False):
+                suffix = "ask" if ask else "noask"
+                factories.append(
+                    fixed(
+                        f"func-abort[{fname},{suffix}][{label}]",
+                        lambda s=frozen, f=fname, a=ask: FunctionalityAborter(
+                            set(s), f, ask_first=a
+                        ),
+                    )
+                )
+    return factories
+
+
+def strategy_space_for_protocol(
+    protocol, max_corruptions: Optional[int] = None
+) -> List[AdversaryFactory]:
+    """Derive the standard sweep from a protocol's shape."""
+    from ..crypto.prf import Rng as _Rng
+
+    fnames = list(protocol.build_functionalities(_Rng(b"probe")))
+    # Only sweep abortable top-level hybrids; per-gate OT instances would
+    # explode the space without adding distinct behaviours.
+    fnames = [f for f in fnames if not f.startswith("ot:")]
+    return standard_strategy_space(
+        protocol.n_parties,
+        protocol.max_rounds,
+        fnames,
+        max_corruptions,
+    )

@@ -1,0 +1,82 @@
+"""Input-substitution attacks.
+
+Fsfe⊥ lets the ideal adversary choose the corrupted parties' inputs — the
+one influence fairness does not (and should not) constrain.  These
+strategies exercise that surface: they bias the computed *outcome* while
+remaining perfectly fair (E11), demonstrating that the fairness events
+measure exactly the delivery asymmetry and nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Set
+
+from ..engine.adversary import RoundInterface
+from .base import MachineDrivingAdversary
+
+
+class InputSubstitution(MachineDrivingAdversary):
+    """Run corrupted machines honestly on *substituted* inputs.
+
+    ``substitute(index, real_input)`` returns the input the corrupted
+    machine is given instead of the environment's.  Everything else is
+    honest — the measured fairness event is E11, but the function is
+    evaluated on the attacker's inputs (legal in the ideal world, hence no
+    protocol can prevent it).
+    """
+
+    def __init__(
+        self,
+        corrupt: Set[int],
+        substitute: Callable[[int, object], object],
+    ):
+        super().__init__(corrupt)
+        self.substitute = substitute
+        self.substituted: Dict[int, object] = {}
+        self.name = f"input-substitution{sorted(corrupt)}"
+
+    def on_corrupt(self, party) -> None:
+        super().on_corrupt(party)
+        real = party.view.input
+        replacement = self.substitute(party.index, real)
+        self.substituted[party.index] = replacement
+        party.runner.machine.on_input(replacement)
+
+    def effective_inputs(self, env_inputs: tuple) -> tuple:
+        """The input vector the ideal functionality actually evaluated.
+
+        The generic event classifier compares against the *environment's*
+        inputs, so a substituted run shows up as E00/E01 there; re-classify
+        an `ExecutionResult` with its ``inputs`` replaced by this vector to
+        obtain the ideal-world event (E11 for pure substitution).  Since
+        substitution alone never changes delivery, sup-utility measurements
+        over the standard strategy spaces are unaffected.
+        """
+        effective = list(env_inputs)
+        for index, value in self.substituted.items():
+            effective[index] = value
+        return tuple(effective)
+
+
+def constant_input(value) -> Callable[[int, object], object]:
+    """Substitute every corrupted input with a fixed value."""
+    return lambda index, real: value
+
+
+def max_domain_input(func) -> Callable[[int, object], object]:
+    """Substitute each corrupted input with its domain maximum (the
+    natural bid-rigging attack on auction-style functions)."""
+
+    def substitute(index: int, real):
+        domain = (
+            func.input_domains[index]
+            if func.input_domains is not None
+            else None
+        )
+        if domain is None:
+            raise ValueError(
+                f"{func.name}: party {index} has no enumerable domain"
+            )
+        return max(domain)
+
+    return substitute

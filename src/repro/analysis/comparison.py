@@ -1,0 +1,106 @@
+"""Fairness partial-order construction over a set of assessed protocols.
+
+Builds the ⪯γ relation (Definition 1) on measured data, identifies the
+maximal (optimally fair) elements within the assessed universe, and derives
+the Hasse-diagram edges for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.fairness import Comparison, ProtocolAssessment, compare
+
+
+@dataclass
+class FairnessOrder:
+    """The measured ⪯γ partial order over a protocol universe."""
+
+    assessments: List[ProtocolAssessment]
+    tolerance: float = 0.0
+    relations: Dict[Tuple[str, str], Comparison] = field(default_factory=dict)
+
+    def __post_init__(self):
+        names = [a.protocol_name for a in self.assessments]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate protocol names in assessment set")
+        for a in self.assessments:
+            for b in self.assessments:
+                if a.protocol_name != b.protocol_name:
+                    self.relations[(a.protocol_name, b.protocol_name)] = (
+                        compare(a, b, self.tolerance)
+                    )
+
+    def _by_name(self, name: str) -> ProtocolAssessment:
+        for a in self.assessments:
+            if a.protocol_name == name:
+                return a
+        raise KeyError(name)
+
+    def at_least_as_fair(self, a: str, b: str) -> bool:
+        rel = self.relations[(a, b)]
+        return rel in (Comparison.FAIRER, Comparison.EQUAL)
+
+    def strictly_fairer(self, a: str, b: str) -> bool:
+        return self.relations[(a, b)] is Comparison.FAIRER
+
+    def maximal_elements(self) -> List[str]:
+        """Protocols that are at least as fair as every other — the
+        optimally fair elements of the assessed universe (Definition 2)."""
+        result = []
+        for a in self.assessments:
+            if all(
+                self.at_least_as_fair(a.protocol_name, b.protocol_name)
+                for b in self.assessments
+                if b.protocol_name != a.protocol_name
+            ):
+                result.append(a.protocol_name)
+        return result
+
+    def equivalence_classes(self) -> List[List[str]]:
+        """Groups of equally fair protocols, fairest class first."""
+        remaining = sorted(self.assessments, key=lambda a: a.utility)
+        classes: List[List[str]] = []
+        for a in remaining:
+            placed = False
+            for cls in classes:
+                rep = self._by_name(cls[0])
+                if (
+                    self.relations[(a.protocol_name, rep.protocol_name)]
+                    is Comparison.EQUAL
+                ):
+                    cls.append(a.protocol_name)
+                    placed = True
+                    break
+            if not placed:
+                classes.append([a.protocol_name])
+        return classes
+
+    def hasse_edges(self) -> List[Tuple[str, str]]:
+        """Covering pairs (a, b): a strictly fairer than b with nothing
+        strictly between."""
+        classes = self.equivalence_classes()
+        edges = []
+        for i, upper in enumerate(classes):
+            if i + 1 < len(classes):
+                lower = classes[i + 1]
+                edges.append((upper[0], lower[0]))
+        return edges
+
+    def render(self) -> str:
+        """A text report of the measured order."""
+        lines = ["Fairness partial order (fairest first):"]
+        for rank, cls in enumerate(self.equivalence_classes(), start=1):
+            members = ", ".join(sorted(cls))
+            utility = self._by_name(cls[0]).utility
+            lines.append(f"  {rank}. [{members}]  best-attack utility ≈ {utility:.4f}")
+        maximal = ", ".join(sorted(self.maximal_elements())) or "(none)"
+        lines.append(f"  optimally fair within this universe: {maximal}")
+        return "\n".join(lines)
+
+
+def build_order(
+    assessments: Sequence[ProtocolAssessment], tolerance: float = 0.0
+) -> FairnessOrder:
+    return FairnessOrder(list(assessments), tolerance)

@@ -1,0 +1,121 @@
+"""Protocol cost measurement: rounds, messages, and hybrid calls.
+
+Fairness is bought with rounds — that is the paper's central trade-off
+(ΠOpt2SFE is optimal *and* reconstruction-round-optimal; the Gordon–Katz
+protocols push unfairness to 1/p at O(p·|Y|) rounds).  This module
+measures the cost side so the frontier can be charted next to the utility
+side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..adversaries.base import PassiveAdversary
+from ..crypto.prf import Rng
+from ..engine.execution import run_execution
+
+
+@dataclass(frozen=True)
+class ProtocolCost:
+    """Average honest-execution costs of a protocol."""
+
+    protocol_name: str
+    rounds: float
+    point_to_point_messages: float
+    broadcasts: float
+    functionality_responses: float
+
+    @property
+    def total_messages(self) -> float:
+        return (
+            self.point_to_point_messages
+            + self.broadcasts
+            + self.functionality_responses
+        )
+
+
+def measure_cost(protocol, n_runs: int = 20, seed=0) -> ProtocolCost:
+    """Average costs over honest executions with sampled inputs."""
+    if n_runs <= 0:
+        raise ValueError("need at least one run")
+    master = Rng(seed)
+    rounds = p2p = broadcast = func = 0
+    for k in range(n_runs):
+        rng = master.fork(f"cost-{k}")
+        inputs = protocol.func.sample_inputs(rng.fork("in"))
+        result = run_execution(
+            protocol, inputs, PassiveAdversary(), rng.fork("x")
+        )
+        rounds += result.rounds_used
+        for message in result.transcript:
+            if isinstance(message.sender, str):
+                func += 1
+            elif message.broadcast:
+                broadcast += 1
+            else:
+                p2p += 1
+    return ProtocolCost(
+        protocol_name=protocol.name,
+        rounds=rounds / n_runs,
+        point_to_point_messages=p2p / n_runs,
+        broadcasts=broadcast / n_runs,
+        functionality_responses=func / n_runs,
+    )
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One protocol's position on the fairness-vs-cost frontier."""
+
+    protocol_name: str
+    utility: float  # best-attack utility (lower = fairer)
+    rounds: float
+    total_messages: float
+
+
+def fairness_cost_frontier(
+    entries,
+    gamma,
+    n_runs_utility: int = 300,
+    n_runs_cost: int = 20,
+    seed=0,
+) -> list:
+    """Chart protocols as (utility, rounds, messages) frontier points.
+
+    ``entries`` is a list of (protocol, adversary_factories) pairs.
+    """
+    from ..core.utility import best_utility
+    from .estimator import sweep_strategies
+
+    points = []
+    for protocol, factories in entries:
+        estimates = sweep_strategies(
+            protocol, factories, gamma, n_runs_utility, seed=(seed, protocol.name)
+        )
+        cost = measure_cost(protocol, n_runs_cost, seed=(seed, "cost"))
+        points.append(
+            FrontierPoint(
+                protocol_name=protocol.name,
+                utility=best_utility(estimates).mean,
+                rounds=cost.rounds,
+                total_messages=cost.total_messages,
+            )
+        )
+    return sorted(points, key=lambda p: (p.utility, p.rounds))
+
+
+def pareto_optimal(points) -> list:
+    """Frontier points not dominated in (utility, rounds) by any other."""
+    result = []
+    for p in points:
+        dominated = any(
+            (q.utility <= p.utility and q.rounds < p.rounds)
+            or (q.utility < p.utility and q.rounds <= p.rounds)
+            for q in points
+            if q is not p
+        )
+        if not dominated:
+            result.append(p)
+    return result

@@ -1,0 +1,135 @@
+"""Monte-Carlo estimation of attacker utilities.
+
+The estimator runs a protocol against an adversary strategy many times,
+classifies each execution into its fairness event (protocol-specific
+classifier first, generic Fsfe⊥ classifier otherwise), and folds the event
+frequencies with a payoff vector into a :class:`UtilityEstimate` carrying
+Wilson confidence intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from ..adversaries.search import AdversaryFactory
+from ..core.balance import BalanceProfile
+from ..core.events import classify
+from ..core.fairness import ProtocolAssessment, assess
+from ..core.payoff import PayoffVector
+from ..core.utility import (
+    EventCounts,
+    UtilityEstimate,
+    best_utility,
+    estimate_from_counts,
+)
+from ..crypto.prf import Rng
+from ..engine.execution import run_execution
+
+InputSampler = Callable[[Rng], tuple]
+
+
+def run_batch(
+    protocol,
+    adversary_factory: AdversaryFactory,
+    n_runs: int,
+    seed=0,
+    input_sampler: Optional[InputSampler] = None,
+) -> EventCounts:
+    """Run ``n_runs`` executions, returning the event counts."""
+    if n_runs <= 0:
+        raise ValueError("need at least one run")
+    sampler = input_sampler or protocol.func.sample_inputs
+    master = Rng(seed)
+    counts = EventCounts()
+    for k in range(n_runs):
+        rng = master.fork(f"run-{k}")
+        inputs = sampler(rng.fork("inputs"))
+        adversary = adversary_factory(rng.fork("adversary"))
+        result = run_execution(protocol, inputs, adversary, rng.fork("exec"))
+        event = protocol.classify_result(result)
+        if event is None:
+            event = classify(result, protocol.func)
+        counts.record(event, result.corrupted)
+    return counts
+
+
+def estimate_utility(
+    protocol,
+    adversary_factory: AdversaryFactory,
+    gamma: PayoffVector,
+    n_runs: int = 400,
+    seed=0,
+    input_sampler: Optional[InputSampler] = None,
+    cost=None,
+) -> UtilityEstimate:
+    """Estimate u_A(Π, A) for one strategy."""
+    counts = run_batch(protocol, adversary_factory, n_runs, seed, input_sampler)
+    return estimate_from_counts(
+        counts,
+        gamma,
+        protocol=protocol.name,
+        adversary=getattr(adversary_factory, "name", "adversary"),
+        cost=cost,
+    )
+
+
+def sweep_strategies(
+    protocol,
+    factories: Iterable[AdversaryFactory],
+    gamma: PayoffVector,
+    n_runs: int = 400,
+    seed=0,
+    input_sampler: Optional[InputSampler] = None,
+) -> List[UtilityEstimate]:
+    """Estimate the utility of every strategy in a space."""
+    estimates = []
+    for idx, factory in enumerate(factories):
+        estimates.append(
+            estimate_utility(
+                protocol,
+                factory,
+                gamma,
+                n_runs=n_runs,
+                seed=(seed, idx),
+                input_sampler=input_sampler,
+            )
+        )
+    return estimates
+
+
+def assess_protocol(
+    protocol,
+    factories: Iterable[AdversaryFactory],
+    gamma: PayoffVector,
+    n_runs: int = 400,
+    seed=0,
+    input_sampler: Optional[InputSampler] = None,
+) -> ProtocolAssessment:
+    """sup over the strategy space → a ProtocolAssessment (Definition 1)."""
+    estimates = sweep_strategies(
+        protocol, factories, gamma, n_runs, seed, input_sampler
+    )
+    return assess(protocol.name, gamma, estimates)
+
+
+def balance_profile(
+    protocol,
+    factories_per_t: dict,
+    gamma: PayoffVector,
+    n_runs: int = 400,
+    seed=0,
+) -> BalanceProfile:
+    """Measure the best t-adversary's utility for each t in 1..n−1.
+
+    ``factories_per_t[t]`` is the list of t-corruption strategies to sweep.
+    """
+    n = protocol.n_parties
+    per_t = {}
+    for t in range(1, n):
+        estimates = sweep_strategies(
+            protocol, factories_per_t[t], gamma, n_runs, seed=(seed, "t", t)
+        )
+        per_t[t] = best_utility(estimates)
+    return BalanceProfile(
+        protocol_name=protocol.name, n=n, gamma=gamma, per_t=per_t
+    )

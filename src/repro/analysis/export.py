@@ -1,0 +1,131 @@
+"""JSON export of measurement artefacts.
+
+Serialises the analysis layer's result objects — utility estimates,
+protocol assessments, balance profiles, fairness orders, attack games —
+into plain dictionaries (and files) so downstream tooling can consume runs
+without importing the library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..core.attack_game import AttackGame
+from ..core.balance import BalanceProfile
+from ..core.fairness import ProtocolAssessment
+from ..core.payoff import PayoffVector
+from ..core.utility import UtilityEstimate
+from .comparison import FairnessOrder
+from .reconstruction import ReconstructionMeasurement
+
+
+def gamma_to_dict(gamma: PayoffVector) -> dict:
+    return {
+        "gamma00": gamma.gamma00,
+        "gamma01": gamma.gamma01,
+        "gamma10": gamma.gamma10,
+        "gamma11": gamma.gamma11,
+    }
+
+
+def estimate_to_dict(estimate: UtilityEstimate) -> dict:
+    return {
+        "protocol": estimate.protocol,
+        "adversary": estimate.adversary,
+        "mean": estimate.mean,
+        "ci_low": estimate.ci_low,
+        "ci_high": estimate.ci_high,
+        "n_runs": estimate.n_runs,
+        "cost_mean": estimate.cost_mean,
+        "events": {
+            e.name: p for e, p in estimate.event_distribution.items() if p
+        },
+    }
+
+
+def assessment_to_dict(assessment: ProtocolAssessment) -> dict:
+    return {
+        "protocol": assessment.protocol_name,
+        "gamma": gamma_to_dict(assessment.gamma),
+        "best_attack": estimate_to_dict(assessment.best_attack),
+        "utility": assessment.utility,
+    }
+
+
+def profile_to_dict(profile: BalanceProfile) -> dict:
+    return {
+        "protocol": profile.protocol_name,
+        "n": profile.n,
+        "gamma": gamma_to_dict(profile.gamma),
+        "per_t": {
+            str(t): estimate_to_dict(est) for t, est in profile.per_t.items()
+        },
+        "utility_sum": profile.utility_sum,
+    }
+
+
+def order_to_dict(order: FairnessOrder) -> dict:
+    return {
+        "tolerance": order.tolerance,
+        "assessments": [assessment_to_dict(a) for a in order.assessments],
+        "equivalence_classes": order.equivalence_classes(),
+        "maximal_elements": order.maximal_elements(),
+        "hasse_edges": [list(edge) for edge in order.hasse_edges()],
+    }
+
+
+def game_to_dict(game: AttackGame) -> dict:
+    return {
+        "gamma": gamma_to_dict(game.gamma),
+        "matrix": {p: dict(row) for p, row in game.matrix.items()},
+        "value": game.game_value(),
+        "minimax_protocols": game.minimax_protocols(),
+        "best_responses": {
+            p: list(game.best_response(p)) for p in game.matrix
+        },
+    }
+
+
+def reconstruction_to_dict(m: ReconstructionMeasurement) -> dict:
+    return {
+        "protocol": m.protocol_name,
+        "honest_rounds": m.honest_rounds,
+        "threshold": m.threshold,
+        "unfair_probability": {
+            str(r): p for r, p in m.unfair_probability.items()
+        },
+        "unfair_rounds": m.unfair_rounds,
+        "reconstruction_rounds": m.reconstruction_rounds,
+    }
+
+
+_EXPORTERS = {
+    UtilityEstimate: estimate_to_dict,
+    ProtocolAssessment: assessment_to_dict,
+    BalanceProfile: profile_to_dict,
+    FairnessOrder: order_to_dict,
+    AttackGame: game_to_dict,
+    ReconstructionMeasurement: reconstruction_to_dict,
+    PayoffVector: gamma_to_dict,
+}
+
+
+def to_dict(artefact) -> dict:
+    """Dispatch to the right exporter for any supported artefact."""
+    for cls, exporter in _EXPORTERS.items():
+        if isinstance(artefact, cls):
+            return exporter(artefact)
+    raise TypeError(f"no JSON exporter for {type(artefact).__name__}")
+
+
+def save_json(artefact, path: Union[str, Path]) -> Path:
+    """Serialise one artefact (or a list of them) to a JSON file."""
+    path = Path(path)
+    if isinstance(artefact, (list, tuple)):
+        payload = [to_dict(a) for a in artefact]
+    else:
+        payload = to_dict(artefact)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path

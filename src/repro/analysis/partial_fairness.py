@@ -1,0 +1,314 @@
+"""Utility-based fairness vs 1/p-security (paper §5, Appendix C).
+
+Executable renditions of the section's results:
+
+* **Theorem 23** — :func:`gk_realization_distance` builds the explicit
+  ideal-world simulator for a GK stopping-rule adversary against the
+  randomized-abort functionality Fsfe$ and measures the statistical
+  distance between real and ideal outcome distributions (≈ 0 up to
+  Monte-Carlo noise).
+* **Lemma 25** — utility ≤ 1/p with ~γ = (0,0,1,0) together with the
+  realization distance gives 1/p-security; :func:`gk_e10_probability`
+  measures the utility side.
+* **Lemma 26** — :func:`leaky_distinguisher_probabilities` runs the
+  environments Z1/Z2 against the leaky protocol Π̃ and exhibits the
+  real-vs-ideal gap (the real world has Pr[Z1=1] ≈ Pr[Z2=1], while any
+  Fsfe$ simulator forces Pr[Z1=1] ≤ ¾·Pr[Z2=1]).
+* **Lemma 27** — :func:`leaky_privacy_distance` implements the paper's
+  privacy simulator (which legitimately extracts x1 by substituting
+  x2' = 1) and shows the corrupted view is perfectly simulatable, i.e. Π̃
+  *is* private in the [18] sense despite leaking the input.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Mapping, Optional, Tuple
+
+from ..adversaries.gk_aborter import KnownOutputStopper, _GkStopperBase
+from ..adversaries.leaky import LeakyInputExtractor
+from ..core.events import FairnessEvent
+from ..crypto.prf import Rng
+from ..engine.execution import run_execution
+from ..functionalities.share_gen import open_sealed
+from ..protocols.gordon_katz import GordonKatzProtocol
+from ..protocols.leaky_and import PROLOGUE_ROUNDS, LeakyAndProtocol
+
+
+def statistical_distance(a: Mapping, b: Mapping) -> float:
+    """Total variation distance between two empirical distributions.
+
+    Accepts raw counters; normalises internally.
+    """
+    total_a = sum(a.values())
+    total_b = sum(b.values())
+    if total_a == 0 or total_b == 0:
+        raise ValueError("empty distribution")
+    support = set(a) | set(b)
+    return 0.5 * sum(
+        abs(a.get(k, 0) / total_a - b.get(k, 0) / total_b) for k in support
+    )
+
+
+# --------------------------------------------------------------------------
+# Theorem 23: Fsfe$ realization via the explicit simulator
+# --------------------------------------------------------------------------
+
+def gk_real_outcomes(
+    protocol: GordonKatzProtocol,
+    stopper_builder: Callable[[], _GkStopperBase],
+    inputs: tuple,
+    n_runs: int,
+    seed=0,
+) -> Counter:
+    """Real-world outcome distribution for a stopping-rule adversary.
+
+    Outcome = (honest party's output, #values the adversary opened,
+    last value the adversary opened).
+    """
+    master = Rng(seed)
+    outcomes = Counter()
+    for k in range(n_runs):
+        rng = master.fork(f"real-{k}")
+        adversary = stopper_builder()
+        result = run_execution(protocol, inputs, adversary, rng)
+        honest = next(iter(result.honest))
+        honest_output = result.outputs[honest].value
+        seen = tuple(adversary.observed)
+        outcomes[
+            (honest_output, len(seen), seen[-1] if seen else None)
+        ] += 1
+    return outcomes
+
+
+def gk_ideal_outcomes(
+    protocol: GordonKatzProtocol,
+    stopper_builder: Callable[[], _GkStopperBase],
+    inputs: tuple,
+    n_runs: int,
+    seed=0,
+) -> Counter:
+    """Ideal-world (Fsfe$ + simulator) outcome distribution.
+
+    The simulator from Theorem 23's proof: it draws i* itself, feeds the
+    adversary simulated stream values (fakes from the ShareGen
+    distribution before i*, the true corrupted output from i* on — asking
+    Fsfe$ only then), and on an abort strictly before i* replaces the
+    honest output through the randomized-abort interface (a fresh draw
+    from Y_honest); at or after i* the honest party receives the value its
+    banked stream position dictates.
+    """
+    sharegen = protocol._template
+    func = protocol.func
+    outputs = func.outputs_for(inputs)
+    master = Rng(seed)
+    outcomes = Counter()
+    mask = (1 << 64) - 1
+    for k in range(n_runs):
+        rng = master.fork(f"ideal-{k}")
+        stopper = stopper_builder()
+        corrupted = stopper.corrupt_index
+        honest = 1 - corrupted
+        i_star = sharegen._draw_i_star(rng.fork("i_star"))
+        corrupted_sampler = sharegen.fake_samplers[corrupted]
+        honest_sampler = sharegen.fake_samplers[honest]
+
+        seen = []
+        stopped_at: Optional[int] = None
+        for j in range(sharegen.rounds):
+            if j < i_star - 1:
+                value = corrupted_sampler(inputs, rng.fork(f"cf-{j}")) & mask
+            else:
+                value = outputs[corrupted] & mask  # simulator asks Fsfe$
+            seen.append(value)
+            if stopper.should_stop(j, value):
+                stopped_at = j
+                break
+
+        if stopped_at is None or stopped_at >= i_star - 1:
+            # Completed, or aborted no earlier than i*: the honest party's
+            # banked position decides.
+            banked = (stopped_at - 1) if stopped_at is not None else None
+            if banked is None or banked >= i_star - 1:
+                honest_output = outputs[honest]
+            else:
+                honest_output = (
+                    honest_sampler(inputs, rng.fork("replace")) & mask
+                )
+        else:
+            # Aborted strictly before i*: randomized abort, no ask.
+            honest_output = honest_sampler(inputs, rng.fork("replace")) & mask
+        outcomes[
+            (honest_output, len(seen), seen[-1] if seen else None)
+        ] += 1
+    return outcomes
+
+
+def gk_realization_distance(
+    protocol: GordonKatzProtocol,
+    stopper_builder: Callable[[], _GkStopperBase],
+    inputs: tuple,
+    n_runs: int = 500,
+    seed=0,
+) -> float:
+    """Statistical distance between real and simulated executions."""
+    real = gk_real_outcomes(protocol, stopper_builder, inputs, n_runs, seed)
+    ideal = gk_ideal_outcomes(
+        protocol, stopper_builder, inputs, n_runs, (seed, "ideal")
+    )
+    return statistical_distance(real, ideal)
+
+
+def gk_e10_probability(
+    protocol: GordonKatzProtocol,
+    stopper_builder: Callable[[], _GkStopperBase],
+    inputs: tuple,
+    n_runs: int = 500,
+    seed=0,
+) -> float:
+    """Measured Pr[E10] for a stopping-rule adversary (the 1/p bound)."""
+    master = Rng(seed)
+    hits = 0
+    for k in range(n_runs):
+        rng = master.fork(f"e10-{k}")
+        adversary = stopper_builder()
+        result = run_execution(protocol, inputs, adversary, rng)
+        event = protocol.classify_result(result)
+        if event is FairnessEvent.E10:
+            hits += 1
+    return hits / n_runs
+
+
+# --------------------------------------------------------------------------
+# Lemma 26: the Z1/Z2 distinguishers against Π̃
+# --------------------------------------------------------------------------
+
+def leaky_distinguisher_probabilities(
+    n_runs: int = 2000, seed=0
+) -> Tuple[float, float]:
+    """Measured (Pr[Z1 = 1], Pr[Z2 = 1]) in the real Π̃ execution.
+
+    Both environments choose x1 uniformly, corrupt p2 with x2 = 0, and
+    have it send the deviating 1-bit; Z1 outputs 1 when p1's input leaked
+    correctly *and* z1 = 0, Z2 outputs 1 when any input bit leaked.
+    """
+    protocol = LeakyAndProtocol()
+    master = Rng(seed)
+    z1_hits = 0
+    z2_hits = 0
+    for k in range(n_runs):
+        rng = master.fork(f"dist-{k}")
+        x1 = rng.fork("x1").randrange(2)
+        adversary = LeakyInputExtractor()
+        result = run_execution(protocol, (x1, 0), adversary, rng.fork("exec"))
+        z1_output = result.outputs[0].value
+        leaked = adversary.extracted_input
+        if leaked is not None:
+            z2_hits += 1
+            if leaked == x1 and z1_output == 0:
+                z1_hits += 1
+    return z1_hits / n_runs, z2_hits / n_runs
+
+
+def leaky_ideal_bound_violated(
+    p_z1: float, p_z2: float, tolerance: float
+) -> bool:
+    """Lemma 26's contradiction: any Fsfe$ simulator forces
+    Pr[Z1=1] ≤ ¾·Pr[Z2=1]; the real world violates this."""
+    return p_z1 > 0.75 * p_z2 + tolerance
+
+
+# --------------------------------------------------------------------------
+# Lemma 27: privacy of Π̃ via the explicit view simulator
+# --------------------------------------------------------------------------
+
+def leaky_real_views(n_runs: int = 1000, seed=0) -> Counter:
+    """Corrupted p2's view distribution in the real (deviating) run.
+
+    View summary = (x1, leaked-or-None, #stream values seen, stream
+    constant-zero?), jointly with the environment's input choice.
+    """
+    protocol = LeakyAndProtocol()
+    master = Rng(seed)
+    views = Counter()
+    for k in range(n_runs):
+        rng = master.fork(f"view-{k}")
+        x1 = rng.fork("x1").randrange(2)
+        adversary = _ViewCollectingExtractor()
+        run_execution(protocol, (x1, 0), adversary, rng.fork("exec"))
+        views[
+            (
+                x1,
+                adversary.extracted_input,
+                len(adversary.stream_values),
+                all(v == 0 for v in adversary.stream_values),
+            )
+        ] += 1
+    return views
+
+
+def leaky_simulated_views(n_runs: int = 1000, seed=0) -> Counter:
+    """The Lemma-27 privacy simulator's view distribution.
+
+    The simulator substitutes x2' = 1, legitimately obtaining
+    x1 ∧ 1 = x1 from the functionality, then reproduces the leak coin and
+    the (all-zero, since the real second stage runs on x2 = 0) stream with
+    a freshly drawn i*.
+    """
+    protocol = LeakyAndProtocol()
+    template = protocol.build_functionalities(Rng(b"probe"))["F_sharegen_gk"]
+    master = Rng(seed)
+    views = Counter()
+    for k in range(n_runs):
+        rng = master.fork(f"sim-{k}")
+        x1 = rng.fork("x1").randrange(2)  # obtained via x2' = 1 from F
+        leaked = x1 if rng.fork("coin").coin(0.25) else None
+        # Stream: with x2 = 0 every value (fake or real) is 0, and the
+        # honest p1 reveals the full schedule.
+        rounds = template.rounds
+        views[(x1, leaked, rounds, True)] += 1
+    return views
+
+
+def leaky_privacy_distance(n_runs: int = 1000, seed=0) -> float:
+    """Statistical distance real-view vs simulated-view (≈ 0: private)."""
+    real = leaky_real_views(n_runs, seed)
+    simulated = leaky_simulated_views(n_runs, (seed, "sim"))
+    return statistical_distance(real, simulated)
+
+
+class _ViewCollectingExtractor(LeakyInputExtractor):
+    """LeakyInputExtractor that also opens and records the GK stream.
+
+    The peek happens in :meth:`should_abort` — i.e. *after* the corrupted
+    machine was stepped this round, so its ShareGen payload is available
+    from reveal index 0 on (rushing shows each token one round before the
+    machine banks it).
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.stream_values = []
+
+    def should_abort(self, iface, contexts) -> bool:
+        runner = self._runners.get(1)
+        payload = (
+            getattr(runner.machine, "payload", None) if runner else None
+        )
+        if payload is not None:
+            reveal_index = iface.round - PROLOGUE_ROUNDS - 1
+            if 0 <= reveal_index < payload.rounds:
+                for message in iface.rushing_messages():
+                    if message.receiver != 1:
+                        continue
+                    try:
+                        value = open_sealed(
+                            message.payload,
+                            payload.incoming_pads[reveal_index],
+                            payload.mac_key,
+                            "b",
+                        )
+                    except ValueError:
+                        continue
+                    self.stream_values.append(value)
+        return False

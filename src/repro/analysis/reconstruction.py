@@ -1,0 +1,90 @@
+"""Reconstruction-round measurement (Definition 8, Lemmas 9-10).
+
+A protocol has ℓ reconstruction rounds when an abort in any of its first
+m − ℓ rounds still leaves the outcome fair (it implements the *fair*
+functionality against such adversaries), while an abort in round m − ℓ + 1
+can already produce unfairness.  Operationally we sweep the abort round r
+and every single-party corruption, estimate Pr[E10], and count the rounds
+from which an abort is unfair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..adversaries.aborting import AbortAtRound
+from ..adversaries.search import AdversaryFactory, fixed
+from ..core.events import FairnessEvent, classify
+from ..crypto.prf import Rng
+from ..engine.execution import run_execution
+from ..adversaries.base import PassiveAdversary
+
+
+@dataclass(frozen=True)
+class ReconstructionMeasurement:
+    """Per-abort-round unfairness probabilities and the derived count."""
+
+    protocol_name: str
+    honest_rounds: int
+    unfair_probability: Dict[int, float]  # abort round -> max Pr[E10]
+    threshold: float
+
+    @property
+    def unfair_rounds(self) -> List[int]:
+        return sorted(
+            r
+            for r, p in self.unfair_probability.items()
+            if p >= self.threshold
+        )
+
+    @property
+    def reconstruction_rounds(self) -> int:
+        """The size of the unfair-abort window (Definition 8's ℓ)."""
+        return len(self.unfair_rounds)
+
+
+def honest_round_count(protocol, seed=0) -> int:
+    """Rounds used by an all-honest execution."""
+    rng = Rng((seed, "honest"))
+    inputs = protocol.func.sample_inputs(rng.fork("inputs"))
+    result = run_execution(
+        protocol, inputs, PassiveAdversary(), rng.fork("exec")
+    )
+    return result.rounds_used
+
+
+def measure_reconstruction_rounds(
+    protocol,
+    n_runs: int = 200,
+    seed=0,
+    threshold: float = 0.1,
+) -> ReconstructionMeasurement:
+    """Sweep abort rounds x single corruptions, measuring Pr[E10]."""
+    m = honest_round_count(protocol, seed)
+    per_round: Dict[int, float] = {}
+    master = Rng(seed)
+    for r in range(m):
+        worst = 0.0
+        for party in range(protocol.n_parties):
+            hits = 0
+            for k in range(n_runs):
+                rng = master.fork(f"rec-{r}-{party}-{k}")
+                inputs = protocol.func.sample_inputs(rng.fork("inputs"))
+                adversary = AbortAtRound({party}, r)
+                result = run_execution(
+                    protocol, inputs, adversary, rng.fork("exec")
+                )
+                event = protocol.classify_result(result)
+                if event is None:
+                    event = classify(result, protocol.func)
+                if event is FairnessEvent.E10:
+                    hits += 1
+            worst = max(worst, hits / n_runs)
+        per_round[r] = worst
+    return ReconstructionMeasurement(
+        protocol_name=protocol.name,
+        honest_rounds=m,
+        unfair_probability=per_round,
+        threshold=threshold,
+    )

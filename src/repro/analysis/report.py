@@ -1,0 +1,57 @@
+"""Plain-text table rendering for benchmark output.
+
+Benchmarks print rows of "paper claim vs measured value"; this module keeps
+the formatting in one place so every experiment reports uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def experiment_banner(exp_id: str, claim: str) -> str:
+    bar = "=" * 72
+    return f"{bar}\n{exp_id}: {claim}\n{bar}"
+
+
+def check_row(
+    label: str, paper_value: float, measured: float, tolerance: float
+) -> List:
+    """A standard paper-vs-measured row with a pass/fail verdict."""
+    ok = abs(paper_value - measured) <= tolerance
+    return [label, paper_value, measured, tolerance, "ok" if ok else "MISMATCH"]
+
+
+def bound_row(
+    label: str, bound: float, measured: float, tolerance: float, kind: str = "<="
+) -> List:
+    """A row checking measured against an upper/lower bound."""
+    if kind == "<=":
+        ok = measured <= bound + tolerance
+    elif kind == ">=":
+        ok = measured >= bound - tolerance
+    else:
+        raise ValueError("kind must be '<=' or '>='")
+    return [label, f"{kind} {bound:.4f}", measured, tolerance, "ok" if ok else "VIOLATED"]

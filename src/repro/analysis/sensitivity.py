@@ -1,0 +1,136 @@
+"""Trade-off and sensitivity analysis across payoff vectors and corruption
+budgets.
+
+The fairness relation is parameterised by ~γ, and multi-party protocols
+trade per-t utilities against each other (Π½GMW concedes *nothing extra*
+to small coalitions but everything to large ones; ΠOptnSFE spreads the
+concession).  These helpers chart those trade-offs:
+
+* :func:`utility_curve` — measured u(Π, A_t) as a function of t;
+* :func:`crossover` — the corruption budget at which one protocol stops
+  being the better choice;
+* :func:`gamma_ratio_sweep` — best-attack utilities as γ11/γ10 varies,
+  normalising γ10 = 1 (the relation only depends on ratios after the
+  γ01 = 0 shift).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..adversaries import LockWatchingAborter, fixed
+from ..core.payoff import PayoffVector
+from ..core.utility import UtilityEstimate, best_utility
+from .estimator import estimate_utility, sweep_strategies
+
+
+@dataclass(frozen=True)
+class UtilityCurve:
+    """u(Π, A_t) for t = 1..n−1, at a fixed payoff vector."""
+
+    protocol_name: str
+    gamma: PayoffVector
+    points: Dict[int, UtilityEstimate]
+
+    def value(self, t: int) -> float:
+        return self.points[t].mean
+
+    def as_rows(self) -> List[list]:
+        return [
+            [t, self.points[t].mean, self.points[t].adversary]
+            for t in sorted(self.points)
+        ]
+
+
+def utility_curve(
+    protocol,
+    gamma: PayoffVector,
+    n_runs: int = 300,
+    seed=0,
+    strategies_per_t: Optional[Dict[int, list]] = None,
+) -> UtilityCurve:
+    """Measure the per-t best-attack curve of a protocol."""
+    n = protocol.n_parties
+    points = {}
+    for t in range(1, n):
+        factories = (
+            strategies_per_t[t]
+            if strategies_per_t is not None
+            else [
+                fixed(
+                    f"lock-watch-t{t}",
+                    lambda t=t: LockWatchingAborter(set(range(t))),
+                )
+            ]
+        )
+        estimates = sweep_strategies(
+            protocol, factories, gamma, n_runs, seed=(seed, t)
+        )
+        points[t] = best_utility(estimates)
+    return UtilityCurve(protocol.name, gamma, points)
+
+
+def crossover(curve_a: UtilityCurve, curve_b: UtilityCurve) -> Optional[int]:
+    """Smallest t at which protocol A stops being at least as good as B.
+
+    "Good" for the honest parties means a *lower* attacker utility.
+    Returns None when A is at least as good everywhere.
+    """
+    if set(curve_a.points) != set(curve_b.points):
+        raise ValueError("curves cover different corruption budgets")
+    for t in sorted(curve_a.points):
+        if curve_a.value(t) > curve_b.value(t):
+            return t
+    return None
+
+
+def dominates_everywhere(
+    curve_a: UtilityCurve, curve_b: UtilityCurve, tol: float = 0.0
+) -> bool:
+    """Is A at least as fair as B at *every* corruption budget?"""
+    return all(
+        curve_a.value(t) <= curve_b.value(t) + tol
+        for t in sorted(curve_a.points)
+    )
+
+
+def gamma_ratio_sweep(
+    protocol_builder: Callable[[], object],
+    strategies,
+    ratios: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 0.9),
+    n_runs: int = 300,
+    seed=0,
+) -> List[tuple]:
+    """Best-attack utility as a function of the ratio γ11/γ10 (γ10 = 1).
+
+    Returns [(ratio, sup utility)].  For ΠOpt2SFE the curve is the line
+    (1 + ratio)/2 — the Theorem-3 bound traced across Γfair.
+    """
+    results = []
+    for ratio in ratios:
+        if not 0.0 <= ratio < 1.0:
+            raise ValueError("γ11/γ10 must be in [0, 1) inside Γfair")
+        gamma = PayoffVector(0.0, 0.0, 1.0, ratio)
+        protocol = protocol_builder()
+        estimates = sweep_strategies(
+            protocol, strategies, gamma, n_runs, seed=(seed, ratio)
+        )
+        results.append((ratio, best_utility(estimates).mean))
+    return results
+
+
+def expected_attacker_advantage(
+    curve: UtilityCurve, corruption_budget_distribution: Dict[int, float]
+) -> float:
+    """Average attacker utility under a distribution over budgets t.
+
+    A deployment-planning helper: given beliefs about how many parties an
+    attacker can corrupt, what does it expect to extract from Π?
+    """
+    total = sum(corruption_budget_distribution.values())
+    if not 0.999 <= total <= 1.001:
+        raise ValueError("budget distribution must sum to 1")
+    return sum(
+        curve.value(t) * p for t, p in corruption_budget_distribution.items()
+    )

@@ -1,0 +1,371 @@
+"""The Theorem-3 simulator, executable (paper Appendix A).
+
+The proof of Theorem 3 constructs a black-box straight-line simulator SA
+for any adversary A attacking ΠOpt2SFE: it fakes the phase-1 share and
+order coin without touching the ideal functionality, asks Fsfe⊥ only at the
+moments the reconstruction forces it to, and maps A's behaviour onto the
+(ask, abort) interface — provoking E01/E10/E11 exactly as the case analysis
+says.
+
+This module materialises SA as a *protocol*: :class:`IdealWorldOpt2Sfe`
+looks like ΠOpt2SFE to the adversary (same hybrids, same wire format, same
+rounds), but inside it is the simulator talking to Fsfe⊥.  Because our
+adversaries are ordinary ITMs driven through the engine interface, the very
+same strategy object can be run against the real protocol and against the
+simulation, and the two outcome distributions compared — an executable
+simulation-based security check.
+
+Restricted to the swap function (the paper's own hard instance): there the
+simulator can reconstruct the full encoded output vector from the corrupted
+output component plus the corrupted input, which is what building the
+consistent phase-2 share requires.  The corrupted party index is a harness
+parameter (static corruptions, as in the proof's per-case analysis).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, List, Optional
+
+from ..core.events import FairnessEvent, classify
+from ..crypto import authenticated_sharing
+from ..crypto.field import DEFAULT_PRIME, Field
+from ..crypto.mac import gen_mac_key, tag, verify
+from ..crypto.prf import Rng
+from ..engine.execution import run_execution
+from ..engine.messages import ABORT, Inbox
+from ..engine.party import OUTPUT_DEFAULT, PartyContext, PartyMachine
+from ..engine.protocol import Protocol
+from ..functionalities.base import AdversaryHandle, Functionality
+from ..functionalities.priv_sfe import (
+    ShareGenOutput,
+    TwoPartyShareGen,
+    _default_encode,
+)
+from ..functions.library import FunctionSpec
+from ..protocols.opt_2sfe import Opt2SfeProtocol
+
+_FIELD = Field(DEFAULT_PRIME)
+
+
+class _Coordinator:
+    """Shared state between the simulator's two halves.
+
+    Holds the faked sharing material, the corrupted party's extracted
+    input, the ideal-functionality bookkeeping (asked? aborted?), and the
+    honest party's pending ideal output.
+    """
+
+    def __init__(self, func: FunctionSpec, corrupted: int, rng: Rng):
+        self.func = func
+        self.corrupted = corrupted
+        self.honest = 1 - corrupted
+        self.rng = rng
+        # Fake phase-1 material for the corrupted party.
+        self.keys = {
+            0: gen_mac_key(rng.fork("sim-key-0")),
+            1: gen_mac_key(rng.fork("sim-key-1")),
+        }
+        self.fake_summand = _FIELD.random_element(rng.fork("sim-summand"))
+        self.first_receiver = rng.fork("sim-coin").randrange(2)
+        self.corrupted_input = None
+        self.phase1_delivered = False
+        self.phase1_aborted = False
+        # Ideal-world bookkeeping (decides the fairness event).
+        self.asked = False
+        self.aborted = False
+        self.honest_input = None
+        self.honest_output: Optional[object] = None
+        self.honest_kind: Optional[str] = None
+
+    # -- the ideal functionality Fsfe⊥, inlined ------------------------------
+    def _outputs(self, corrupted_input) -> tuple:
+        inputs = [None, None]
+        inputs[self.corrupted] = corrupted_input
+        inputs[self.honest] = self.honest_input
+        return self.func.outputs_for(tuple(inputs))
+
+    def ask_corrupted_output(self):
+        """SA asks Fsfe⊥ for the corrupted party's output (event bit i=1)."""
+        self.asked = True
+        return self._outputs(self.corrupted_input)[self.corrupted]
+
+    def deliver_honest(self, corrupted_input=None, kind="real") -> None:
+        """Fsfe⊥ delivers the honest output (no abort was sent)."""
+        effective = (
+            corrupted_input
+            if corrupted_input is not None
+            else self.corrupted_input
+        )
+        self.honest_output = self._outputs(effective)[self.honest]
+        self.honest_kind = kind
+
+    def abort_honest(self) -> None:
+        """SA sends (abort): the honest party gets ⊥ (event bit j=0)."""
+        self.aborted = True
+        self.honest_output = ABORT
+        self.honest_kind = "abort"
+
+    # -- share fabrication -----------------------------------------------------
+    def fake_share(self) -> authenticated_sharing.AuthenticatedShare:
+        """The corrupted party's simulated share: uniform summand, a tag it
+        cannot check (it is keyed to the honest party), and its own key."""
+        return authenticated_sharing.AuthenticatedShare(
+            index=self.corrupted + 1,
+            summand=self.fake_summand,
+            summand_tag=tag(self.fake_summand, self.keys[self.honest]),
+            key=self.keys[self.corrupted],
+        )
+
+    def consistent_counter_share(self, y_corrupted) -> tuple:
+        """The wire message SA fabricates so reconstruction yields y.
+
+        Swap-specific step: from the corrupted output component and the
+        corrupted input, the full output vector is determined."""
+        outputs = [None, None]
+        outputs[self.corrupted] = y_corrupted
+        outputs[self.honest] = self.corrupted_input  # fswp: y_h = x_c
+        encoded = _default_encode(tuple(outputs))
+        payload = authenticated_sharing._pack(
+            encoded,
+            tag(encoded, self.keys[0]),
+            tag(encoded, self.keys[1]),
+        )
+        counter_summand = _FIELD.sub(payload, self.fake_summand)
+        return (
+            counter_summand,
+            tag(counter_summand, self.keys[self.corrupted]),
+        )
+
+    def wire_message_valid(self, payload) -> bool:
+        """Did the adversary return the (only) valid share it was given?"""
+        return (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and payload[0] == self.fake_summand
+            and isinstance(payload[1], bytes)
+            and verify(self.fake_summand, payload[1], self.keys[self.honest])
+        )
+
+    @property
+    def ideal_event(self) -> FairnessEvent:
+        """The event SA provoked at Fsfe⊥ (the paper's accounting)."""
+        learned = self.asked
+        honest = self.honest_output is not None and self.honest_kind != "abort"
+        return FairnessEvent(f"{int(learned)}{int(honest)}")
+
+
+class _SimulatedShareGen(Functionality):
+    """The F^{f',⊥} the adversary sees — backed by fakery, not by f."""
+
+    name = TwoPartyShareGen.name
+
+    def __init__(self, coordinator: _Coordinator):
+        self.coordinator = coordinator
+
+    def invoke(
+        self,
+        inputs: Dict[int, object],
+        adversary: AdversaryHandle,
+        rng: Rng,
+        n: int,
+    ) -> Dict[int, object]:
+        c = self.coordinator
+        responses: Dict[int, object] = {}
+        if c.corrupted not in inputs:
+            # Refusal: the phase-1 substrate aborts for everyone; SA feeds
+            # the default input and delivers (event E01).
+            c.phase1_aborted = True
+            c.deliver_honest(
+                corrupted_input=c.func.default_inputs[c.corrupted],
+                kind=OUTPUT_DEFAULT,
+            )
+            responses[c.honest] = ABORT
+            return responses
+        c.corrupted_input = inputs[c.corrupted]
+        fake = ShareGenOutput(c.fake_share(), c.first_receiver)
+        if adversary.query("request-outputs?"):
+            adversary.notify("corrupted-outputs", {c.corrupted: fake})
+            responses[c.corrupted] = fake
+        if adversary.query("abort?"):
+            c.phase1_aborted = True
+            c.deliver_honest(
+                corrupted_input=c.func.default_inputs[c.corrupted],
+                kind=OUTPUT_DEFAULT,
+            )
+            responses[c.honest] = ABORT
+            return responses
+        c.phase1_delivered = True
+        responses.setdefault(c.corrupted, fake)
+        responses[c.honest] = "sim-placeholder"  # dummy party ignores it
+        return responses
+
+
+class _SimulatorMachine(PartyMachine):
+    """The honest slot in the ideal world: dummy party + SA's wire half."""
+
+    def __init__(self, index: int, n: int, coordinator: _Coordinator):
+        super().__init__(index, n)
+        self.coordinator = coordinator
+
+    def on_round(self, round_no: int, inbox: Inbox, ctx: PartyContext) -> None:
+        c = self.coordinator
+        other = c.corrupted
+        if round_no == 0:
+            c.honest_input = self.input
+            ctx.call(TwoPartyShareGen.name, "sim-input-marker")
+            return
+        if round_no == 1:
+            if c.phase1_aborted or not c.phase1_delivered:
+                # E01 branch: SA sent the default input; deliver locally.
+                ctx.output(c.honest_output, OUTPUT_DEFAULT)
+                return
+            if c.first_receiver == other:
+                # Reconstruction towards the corrupted party: SA asks Fsfe⊥
+                # and fabricates the consistent counter-share.
+                y_corrupted = c.ask_corrupted_output()
+                ctx.send(other, c.consistent_counter_share(y_corrupted))
+            return
+        if round_no == 2:
+            if c.first_receiver == self.index:
+                payload = inbox.one_from_party(other)
+                if c.wire_message_valid(payload):
+                    # SA asks for the corrupted output (to build its own
+                    # round-2 message) and lets Fsfe⊥ deliver: E11.
+                    y_corrupted = c.ask_corrupted_output()
+                    c.deliver_honest()
+                    ctx.output(c.honest_output)
+                    ctx.send(other, c.consistent_counter_share(y_corrupted))
+                else:
+                    # Invalid opening: SA substitutes the default input.
+                    c.deliver_honest(
+                        corrupted_input=c.func.default_inputs[other],
+                        kind=OUTPUT_DEFAULT,
+                    )
+                    ctx.output(c.honest_output, OUTPUT_DEFAULT)
+            return
+        if round_no == 3:
+            if c.first_receiver == other:
+                payload = inbox.one_from_party(other)
+                if c.wire_message_valid(payload):
+                    c.deliver_honest()
+                    ctx.output(c.honest_output)
+                else:
+                    # The corrupted side already holds y: abort Fsfe⊥.
+                    c.abort_honest()
+                    ctx.output_abort()
+            return
+
+
+class IdealWorldOpt2Sfe(Protocol):
+    """ΠOpt2SFE's ideal world: SA + Fsfe⊥, engine-compatible.
+
+    ``last_coordinator`` exposes the most recent execution's ideal-world
+    bookkeeping (sequential runs), including the event SA provoked.
+    """
+
+    def __init__(self, func: FunctionSpec, corrupted: int):
+        if func.n_parties != 2:
+            raise ValueError("two-party simulation")
+        if corrupted not in (0, 1):
+            raise ValueError("corrupted must be 0 or 1")
+        self.func = func
+        self.corrupted = corrupted
+        self.n_parties = 2
+        self.name = f"ideal-opt-2sfe[{func.name}]"
+        self.max_rounds = 4
+        self.last_coordinator: Optional[_Coordinator] = None
+
+    def build_functionalities(self, rng: Rng) -> Dict[str, Functionality]:
+        # Called first in the Execution constructor: create this run's
+        # coordinator here and let build_machines pick it up.
+        coordinator = _Coordinator(self.func, self.corrupted, rng.fork("sim"))
+        self.last_coordinator = coordinator
+        return {TwoPartyShareGen.name: _SimulatedShareGen(coordinator)}
+
+    def build_machines(self, rng: Rng) -> List[PartyMachine]:
+        from ..protocols.opt_2sfe import Opt2SfeMachine
+
+        coordinator = self.last_coordinator
+        machines: List[PartyMachine] = [None, None]
+        machines[coordinator.honest] = _SimulatorMachine(
+            coordinator.honest, 2, coordinator
+        )
+        # The corrupted slot runs the genuine ΠOpt2SFE machine, so a
+        # machine-driving adversary behaves byte-identically to the real
+        # world (the adversary owns and drives it anyway).
+        machines[self.corrupted] = Opt2SfeMachine(self.corrupted, 2, self.func)
+        return machines
+
+
+from ..functions.library import make_swap as _make_swap  # noqa: E402
+
+
+# --------------------------------------------------------------------------
+# The real-vs-ideal experiment
+# --------------------------------------------------------------------------
+
+def _canonical_outcome(result, func: FunctionSpec, corrupted: int) -> tuple:
+    """An input-independent outcome summary for distribution comparison.
+
+    (honest kind, honest status, adversary-claim status), where statuses
+    are relative to the true outputs under the run's inputs — so runs with
+    different sampled inputs remain comparable.
+    """
+    honest = 1 - corrupted
+    true_outputs = func.outputs_for(result.inputs)
+    defaulted = list(result.inputs)
+    defaulted[corrupted] = func.default_inputs[corrupted]
+    default_outputs = func.outputs_for(tuple(defaulted))
+
+    rec = result.outputs[honest]
+    if rec.is_abort:
+        honest_status = "abort"
+    elif rec.value == true_outputs[honest]:
+        honest_status = "true"
+    elif rec.value == default_outputs[honest]:
+        honest_status = "default-eval"
+    else:
+        honest_status = "other"
+
+    claim = result.adversary_claim
+    if claim is None:
+        claim_status = "none"
+    elif claim == true_outputs[corrupted]:
+        claim_status = "learned"
+    else:
+        claim_status = "wrong"
+    return (rec.kind, honest_status, claim_status)
+
+
+def opt2sfe_outcome_distributions(
+    adversary_builder: Callable[[], object],
+    corrupted: int,
+    n_runs: int = 400,
+    seed=0,
+    bits: int = 16,
+):
+    """Run one strategy against the real protocol and against SA's ideal
+    world; return (real Counter, ideal Counter, ideal event Counter)."""
+    func = _make_swap(bits)
+    real_protocol = Opt2SfeProtocol(func)
+    ideal_protocol = IdealWorldOpt2Sfe(func, corrupted)
+    master = Rng(seed)
+
+    real = Counter()
+    ideal = Counter()
+    ideal_events = Counter()
+    for k in range(n_runs):
+        rng = master.fork(f"cmp-{k}")
+        inputs = func.sample_inputs(rng.fork("in"))
+        r = run_execution(
+            real_protocol, inputs, adversary_builder(), rng.fork("real")
+        )
+        real[_canonical_outcome(r, func, corrupted)] += 1
+
+        i = run_execution(
+            ideal_protocol, inputs, adversary_builder(), rng.fork("ideal")
+        )
+        ideal[_canonical_outcome(i, func, corrupted)] += 1
+        ideal_events[ideal_protocol.last_coordinator.ideal_event] += 1
+    return real, ideal, ideal_events

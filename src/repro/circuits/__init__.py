@@ -1,0 +1,31 @@
+"""Boolean circuits: representation, builder DSL, truth-table compiler."""
+
+from .circuit import Circuit, Gate, GateKind
+from .builder import (
+    CircuitBuilder,
+    and_circuit,
+    equality_circuit,
+    majority3_circuit,
+    millionaires_circuit,
+    parity_circuit,
+    swap_circuit,
+    xor_circuit,
+)
+from .compiler import bits_of, compile_truth_table, int_of
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GateKind",
+    "CircuitBuilder",
+    "and_circuit",
+    "equality_circuit",
+    "majority3_circuit",
+    "millionaires_circuit",
+    "parity_circuit",
+    "swap_circuit",
+    "xor_circuit",
+    "bits_of",
+    "compile_truth_table",
+    "int_of",
+]

@@ -1,0 +1,139 @@
+"""A small DSL for building circuits, plus stock constructions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .circuit import Circuit, Gate, GateKind
+
+
+class CircuitBuilder:
+    """Incrementally construct a circuit; wires are returned as ints."""
+
+    def __init__(self, n_parties: int):
+        self.n_parties = n_parties
+        self._gates: List[Gate] = []
+        self._next_wire = 0
+        self._input_counts: Dict[int, int] = {i: 0 for i in range(n_parties)}
+
+    def _fresh(self) -> int:
+        w = self._next_wire
+        self._next_wire += 1
+        return w
+
+    def input_bit(self, owner: int) -> int:
+        if not 0 <= owner < self.n_parties:
+            raise ValueError(f"no such party: {owner}")
+        w = self._fresh()
+        idx = self._input_counts[owner]
+        self._input_counts[owner] = idx + 1
+        self._gates.append(
+            Gate(w, GateKind.INPUT, owner=owner, input_index=idx)
+        )
+        return w
+
+    def input_bits(self, owner: int, width: int) -> List[int]:
+        """``width`` input bits, least significant first."""
+        return [self.input_bit(owner) for _ in range(width)]
+
+    def const(self, value: int) -> int:
+        w = self._fresh()
+        self._gates.append(Gate(w, GateKind.CONST, value=value & 1))
+        return w
+
+    def xor(self, a: int, b: int) -> int:
+        w = self._fresh()
+        self._gates.append(Gate(w, GateKind.XOR, args=(a, b)))
+        return w
+
+    def and_(self, a: int, b: int) -> int:
+        w = self._fresh()
+        self._gates.append(Gate(w, GateKind.AND, args=(a, b)))
+        return w
+
+    def not_(self, a: int) -> int:
+        w = self._fresh()
+        self._gates.append(Gate(w, GateKind.NOT, args=(a,)))
+        return w
+
+    def or_(self, a: int, b: int) -> int:
+        """a ∨ b = ¬(¬a ∧ ¬b)."""
+        return self.not_(self.and_(self.not_(a), self.not_(b)))
+
+    def mux(self, sel: int, if_one: int, if_zero: int) -> int:
+        """sel ? if_one : if_zero = if_zero ⊕ (sel ∧ (if_one ⊕ if_zero))."""
+        return self.xor(if_zero, self.and_(sel, self.xor(if_one, if_zero)))
+
+    def build(self, outputs: Sequence[int]) -> Circuit:
+        return Circuit(self._gates, outputs, self.n_parties)
+
+
+# --------------------------------------------------------------------------
+# Stock circuits
+# --------------------------------------------------------------------------
+
+def and_circuit() -> Circuit:
+    """Two-party AND of single bits."""
+    b = CircuitBuilder(2)
+    x = b.input_bit(0)
+    y = b.input_bit(1)
+    return b.build([b.and_(x, y)])
+
+
+def xor_circuit() -> Circuit:
+    b = CircuitBuilder(2)
+    x = b.input_bit(0)
+    y = b.input_bit(1)
+    return b.build([b.xor(x, y)])
+
+
+def millionaires_circuit(width: int) -> Circuit:
+    """[x > y] for two ``width``-bit inputs (ripple comparator)."""
+    b = CircuitBuilder(2)
+    xs = b.input_bits(0, width)
+    ys = b.input_bits(1, width)
+    # From LSB to MSB: gt = (x & !y) | (eq & gt_prev)
+    gt = b.const(0)
+    for xi, yi in zip(xs, ys):
+        x_gt_y = b.and_(xi, b.not_(yi))
+        eq = b.not_(b.xor(xi, yi))
+        gt = b.or_(x_gt_y, b.and_(eq, gt))
+    return b.build([gt])
+
+
+def swap_circuit(width: int) -> Circuit:
+    """fswp: output is (x2 bits, x1 bits)."""
+    b = CircuitBuilder(2)
+    xs = b.input_bits(0, width)
+    ys = b.input_bits(1, width)
+    return b.build(list(ys) + list(xs))
+
+
+def equality_circuit(width: int, n_parties: int = 2) -> Circuit:
+    """[x == y] for two ``width``-bit inputs of parties 0 and 1."""
+    b = CircuitBuilder(n_parties)
+    xs = b.input_bits(0, width)
+    ys = b.input_bits(1, width)
+    acc = b.const(1)
+    for xi, yi in zip(xs, ys):
+        acc = b.and_(acc, b.not_(b.xor(xi, yi)))
+    return b.build([acc])
+
+
+def parity_circuit(n_parties: int) -> Circuit:
+    """n-party XOR of one bit each."""
+    b = CircuitBuilder(n_parties)
+    acc = b.input_bit(0)
+    for i in range(1, n_parties):
+        acc = b.xor(acc, b.input_bit(i))
+    return b.build([acc])
+
+
+def majority3_circuit() -> Circuit:
+    """3-party majority of one bit each: ab ⊕ bc ⊕ ca."""
+    b = CircuitBuilder(3)
+    x = b.input_bit(0)
+    y = b.input_bit(1)
+    z = b.input_bit(2)
+    out = b.xor(b.xor(b.and_(x, y), b.and_(y, z)), b.and_(z, x))
+    return b.build([out])

@@ -1,0 +1,130 @@
+"""Boolean circuits: the computation model underneath GMW.
+
+A circuit is a DAG of gates over wires carrying single bits.  Supported
+gates: ``INPUT`` (owned by a party), ``CONST``, ``XOR``, ``AND``, ``NOT``.
+Gates are stored in topological order (enforced at construction), which the
+GMW evaluator walks layer by layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class GateKind(Enum):
+    INPUT = "input"
+    CONST = "const"
+    XOR = "xor"
+    AND = "and"
+    NOT = "not"
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate; ``args`` are wire ids of earlier gates."""
+
+    wire: int
+    kind: GateKind
+    args: tuple = ()
+    owner: Optional[int] = None  # for INPUT: the party holding the bit
+    value: Optional[int] = None  # for CONST
+    input_index: Optional[int] = None  # for INPUT: bit position within owner
+
+
+class Circuit:
+    """An immutable boolean circuit with named output wires."""
+
+    def __init__(self, gates: Sequence[Gate], outputs: Sequence[int], n_parties: int):
+        self.gates: Tuple[Gate, ...] = tuple(gates)
+        self.outputs: Tuple[int, ...] = tuple(outputs)
+        self.n_parties = n_parties
+        self._validate()
+
+    def _validate(self) -> None:
+        seen = set()
+        for gate in self.gates:
+            for arg in gate.args:
+                if arg not in seen:
+                    raise ValueError(
+                        f"gate {gate.wire} uses wire {arg} before definition"
+                    )
+            if gate.wire in seen:
+                raise ValueError(f"duplicate wire id {gate.wire}")
+            if gate.kind == GateKind.INPUT and gate.owner is None:
+                raise ValueError(f"input gate {gate.wire} has no owner")
+            if gate.kind == GateKind.CONST and gate.value not in (0, 1):
+                raise ValueError(f"const gate {gate.wire} has no bit value")
+            arity = {
+                GateKind.INPUT: 0,
+                GateKind.CONST: 0,
+                GateKind.XOR: 2,
+                GateKind.AND: 2,
+                GateKind.NOT: 1,
+            }[gate.kind]
+            if len(gate.args) != arity:
+                raise ValueError(
+                    f"{gate.kind.value} gate {gate.wire} has arity "
+                    f"{len(gate.args)}, expected {arity}"
+                )
+            seen.add(gate.wire)
+        for out in self.outputs:
+            if out not in seen:
+                raise ValueError(f"output wire {out} is undefined")
+
+    # -- structure queries ---------------------------------------------------
+    def input_gates(self, owner: Optional[int] = None) -> List[Gate]:
+        return [
+            g
+            for g in self.gates
+            if g.kind == GateKind.INPUT
+            and (owner is None or g.owner == owner)
+        ]
+
+    def input_bits_per_party(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {i: 0 for i in range(self.n_parties)}
+        for g in self.input_gates():
+            counts[g.owner] += 1
+        return counts
+
+    def and_gates(self) -> List[Gate]:
+        return [g for g in self.gates if g.kind == GateKind.AND]
+
+    def and_layers(self) -> List[List[Gate]]:
+        """AND gates grouped by depth layer (gates in one layer are
+        pairwise independent and their OTs run in parallel)."""
+        depth: Dict[int, int] = {}
+        layers: Dict[int, List[Gate]] = {}
+        for gate in self.gates:
+            if gate.kind in (GateKind.INPUT, GateKind.CONST):
+                depth[gate.wire] = 0
+            elif gate.kind == GateKind.AND:
+                d = max(depth[a] for a in gate.args) + 1
+                depth[gate.wire] = d
+                layers.setdefault(d, []).append(gate)
+            else:
+                depth[gate.wire] = max(depth[a] for a in gate.args)
+        return [layers[d] for d in sorted(layers)]
+
+    # -- plain evaluation ------------------------------------------------------
+    def evaluate(self, inputs: Dict[int, Sequence[int]]) -> Tuple[int, ...]:
+        """Evaluate in the clear; ``inputs[i]`` are party i's bits in
+        input_index order."""
+        values: Dict[int, int] = {}
+        for gate in self.gates:
+            if gate.kind == GateKind.INPUT:
+                bits = inputs[gate.owner]
+                values[gate.wire] = bits[gate.input_index] & 1
+            elif gate.kind == GateKind.CONST:
+                values[gate.wire] = gate.value
+            elif gate.kind == GateKind.XOR:
+                values[gate.wire] = values[gate.args[0]] ^ values[gate.args[1]]
+            elif gate.kind == GateKind.AND:
+                values[gate.wire] = values[gate.args[0]] & values[gate.args[1]]
+            elif gate.kind == GateKind.NOT:
+                values[gate.wire] = 1 - values[gate.args[0]]
+        return tuple(values[w] for w in self.outputs)
+
+    def __len__(self) -> int:
+        return len(self.gates)

@@ -1,0 +1,265 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``zoo``            list the implemented protocols and attack strategies
+``compare``        place named protocols in the ⪯γ fairness order
+``attack``         measure one protocol's best attacker and event mix
+``balance``        per-t utility profile + utility-balance verdict
+``reconstruction`` measure a protocol's reconstruction rounds
+``curve``          per-t utility curves for two protocols + crossover
+
+All measurements are Monte-Carlo; ``--runs`` and ``--seed`` control the
+budget and reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List
+
+from .adversaries import (
+    LockWatchingAborter,
+    fixed,
+    strategy_space_for_protocol,
+)
+from .analysis import (
+    assess_protocol,
+    balance_profile,
+    build_order,
+    crossover,
+    format_table,
+    measure_reconstruction_rounds,
+    utility_curve,
+)
+from .core import (
+    PayoffVector,
+    balanced_sum_bound,
+    is_utility_balanced,
+    monte_carlo_tolerance,
+)
+from .functions import make_concat, make_contract_exchange, make_swap
+
+
+def _protocol_registry(n: int) -> Dict[str, object]:
+    """Name → freshly built protocol, for the CLI's --protocol flags."""
+    from .gmw import ThresholdGmwProtocol
+    from .protocols import (
+        CoinOrderedContractSigning,
+        DummyProtocol,
+        GordonKatzProtocol,
+        IdealCoinContractSigning,
+        NaiveContractSigning,
+        Opt2SfeProtocol,
+        OptNSfeProtocol,
+        SingleRoundProtocol,
+        UnbalancedOptProtocol,
+    )
+    from .functions import make_and
+
+    def _gradual_release(spec):
+        from .protocols.gradual_release import GradualReleaseProtocol
+
+        return GradualReleaseProtocol(spec)
+
+    swap = make_swap(16)
+    registry = {
+        "pi1": NaiveContractSigning(make_contract_exchange(16)),
+        "pi2": CoinOrderedContractSigning(make_contract_exchange(16)),
+        "pi2-ideal-coin": IdealCoinContractSigning(make_contract_exchange(16)),
+        "opt-2sfe": Opt2SfeProtocol(swap),
+        "single-round": SingleRoundProtocol(swap),
+        "gradual-release": _gradual_release(swap),
+        "dummy": DummyProtocol(swap),
+        "gk-and-p2": GordonKatzProtocol(make_and(), p=2),
+        "gk-and-p4": GordonKatzProtocol(make_and(), p=4),
+    }
+    if n >= 3:
+        concat = make_concat(n, 8)
+        registry["opt-nsfe"] = OptNSfeProtocol(concat)
+        registry["gmw-threshold"] = ThresholdGmwProtocol(concat)
+        registry["unbalanced-opt"] = UnbalancedOptProtocol(concat)
+    return registry
+
+
+def _parse_gamma(text: str) -> PayoffVector:
+    parts = [float(x) for x in text.split(",")]
+    if len(parts) != 4:
+        raise argparse.ArgumentTypeError(
+            "gamma must be four comma-separated values γ00,γ01,γ10,γ11"
+        )
+    vec = PayoffVector(*parts)
+    if not vec.in_gamma_fair():
+        raise argparse.ArgumentTypeError(f"{vec} is not in Γfair")
+    return vec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Utility-based protocol fairness (PODC'15) measurements",
+    )
+    parser.add_argument("--runs", type=int, default=400, help="Monte-Carlo runs")
+    parser.add_argument("--seed", default="cli", help="random seed")
+    parser.add_argument(
+        "--gamma",
+        type=_parse_gamma,
+        default=PayoffVector(0.0, 0.0, 1.0, 0.5),
+        help="payoff vector γ00,γ01,γ10,γ11 (default 0,0,1,0.5)",
+    )
+    parser.add_argument(
+        "--parties", type=int, default=5, help="n for multi-party protocols"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("zoo", help="list protocols and strategies")
+
+    compare = sub.add_parser("compare", help="order protocols by fairness")
+    compare.add_argument("protocols", nargs="+", help="protocol names")
+
+    attack = sub.add_parser("attack", help="best attacker of one protocol")
+    attack.add_argument("protocol")
+
+    balance = sub.add_parser("balance", help="per-t profile + balance verdict")
+    balance.add_argument("protocol")
+
+    recon = sub.add_parser(
+        "reconstruction", help="measure reconstruction rounds"
+    )
+    recon.add_argument("protocol")
+
+    curve = sub.add_parser("curve", help="per-t curves of two protocols")
+    curve.add_argument("protocol_a")
+    curve.add_argument("protocol_b")
+
+    return parser
+
+
+def _get(registry, name: str):
+    if name not in registry:
+        raise SystemExit(
+            f"unknown protocol {name!r}; available: {', '.join(sorted(registry))}"
+        )
+    return registry[name]
+
+
+def cmd_zoo(args, registry) -> str:
+    rows = [
+        [name, p.name, p.n_parties, p.max_rounds]
+        for name, p in sorted(registry.items())
+    ]
+    return format_table(["id", "protocol", "parties", "max rounds"], rows)
+
+
+def cmd_compare(args, registry) -> str:
+    assessments = []
+    for name in args.protocols:
+        protocol = _get(registry, name)
+        space = strategy_space_for_protocol(protocol)
+        assessments.append(
+            assess_protocol(
+                protocol, space, args.gamma, args.runs, seed=(args.seed, name)
+            )
+        )
+    order = build_order(
+        assessments,
+        tolerance=monte_carlo_tolerance(args.runs, spread=args.gamma.gamma10),
+    )
+    return order.render()
+
+
+def cmd_attack(args, registry) -> str:
+    protocol = _get(registry, args.protocol)
+    space = strategy_space_for_protocol(protocol)
+    assessment = assess_protocol(
+        protocol, space, args.gamma, args.runs, seed=args.seed
+    )
+    best = assessment.best_attack
+    lines = [
+        f"protocol: {protocol.name}",
+        f"strategies swept: {len(space)}",
+        f"best attacker: {best.adversary}",
+        f"sup utility: {best.mean:.4f}  [{best.ci_low:.4f}, {best.ci_high:.4f}]",
+        "event mix: "
+        + ", ".join(
+            f"{e.name}={p:.3f}" for e, p in best.event_distribution.items() if p
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def cmd_balance(args, registry) -> str:
+    protocol = _get(registry, args.protocol)
+    n = protocol.n_parties
+    if n < 3:
+        raise SystemExit("balance analysis needs a multi-party protocol")
+    gamma = args.gamma.require_fair_plus()
+    factories = {
+        t: [fixed(f"lw{t}", lambda t=t: LockWatchingAborter(set(range(t))))]
+        for t in range(1, n)
+    }
+    profile = balance_profile(protocol, factories, gamma, args.runs, args.seed)
+    rows = [[t, f"{profile.per_t[t].mean:.4f}"] for t in range(1, n)]
+    tol = (n - 1) * monte_carlo_tolerance(args.runs, spread=gamma.gamma10)
+    verdict = is_utility_balanced(profile, tol=tol)
+    return "\n".join(
+        [
+            format_table(["t", "u(Π, A_t)"], rows),
+            f"sum = {profile.utility_sum:.4f}  "
+            f"(balanced optimum {balanced_sum_bound(n, gamma):.4f})",
+            f"utility-balanced: {verdict}",
+        ]
+    )
+
+
+def cmd_reconstruction(args, registry) -> str:
+    protocol = _get(registry, args.protocol)
+    m = measure_reconstruction_rounds(protocol, n_runs=args.runs, seed=args.seed)
+    rows = [[r, f"{p:.3f}"] for r, p in sorted(m.unfair_probability.items())]
+    return "\n".join(
+        [
+            format_table(["abort round", "max Pr[E10]"], rows),
+            f"honest rounds: {m.honest_rounds}",
+            f"reconstruction rounds: {m.reconstruction_rounds}",
+        ]
+    )
+
+
+def cmd_curve(args, registry) -> str:
+    a = _get(registry, args.protocol_a)
+    b = _get(registry, args.protocol_b)
+    if a.n_parties != b.n_parties:
+        raise SystemExit("protocols must have the same party count")
+    gamma = args.gamma.require_fair_plus()
+    curve_a = utility_curve(a, gamma, args.runs, seed=(args.seed, "a"))
+    curve_b = utility_curve(b, gamma, args.runs, seed=(args.seed, "b"))
+    rows = [
+        [t, f"{curve_a.value(t):.4f}", f"{curve_b.value(t):.4f}"]
+        for t in sorted(curve_a.points)
+    ]
+    cross = crossover(curve_a, curve_b)
+    verdict = (
+        f"{a.name} is at least as fair at every corruption budget"
+        if cross is None
+        else f"first corruption budget where {b.name} is the safer choice: t = {cross}"
+    )
+    return "\n".join(
+        [format_table(["t", a.name, b.name], rows), verdict]
+    )
+
+
+COMMANDS = {
+    "zoo": cmd_zoo,
+    "compare": cmd_compare,
+    "attack": cmd_attack,
+    "balance": cmd_balance,
+    "reconstruction": cmd_reconstruction,
+    "curve": cmd_curve,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    registry = _protocol_registry(args.parties)
+    print(COMMANDS[args.command](args, registry))
+    return 0

@@ -1,0 +1,120 @@
+"""The paper's core contribution: utility-based fairness.
+
+Events and payoffs (§3), the attacker-utility machinery (Eq. 1/2/5), the
+fairness partial order and optimality (Defs. 1-2), utility-balanced and
+φ-fairness (Defs. 5/21), corruption costs and ideal fairness (Defs. 19-20,
+Thm. 6, Lemma 22), and negligible-aware comparisons (§2).
+"""
+
+from .events import (
+    FairnessEvent,
+    adversary_learned_output,
+    classify,
+    honest_learned_output,
+)
+from .payoff import (
+    PARTIAL_FAIRNESS_GAMMA,
+    STANDARD_GAMMA,
+    CostedPayoffVector,
+    PayoffVector,
+    count_cost,
+    gamma_fair_grid,
+    gamma_fair_plus_grid,
+    zero_cost,
+)
+from .utility import (
+    EventCounts,
+    UtilityEstimate,
+    best_utility,
+    estimate_from_counts,
+    wilson_interval,
+)
+from .fairness import (
+    Comparison,
+    ProtocolAssessment,
+    assess,
+    at_least_as_fair,
+    compare,
+    is_optimally_fair,
+)
+from .balance import (
+    BalanceProfile,
+    balanced_sum_bound,
+    is_phi_fair,
+    is_utility_balanced,
+    optimal_phi,
+    per_t_bound,
+)
+from .corruption_cost import (
+    IdealFairnessCheck,
+    check_ideal_fairness,
+    cost_from_phi,
+    dominates,
+    ideal_payoff,
+    no_strictly_dominated_cost_exists,
+    optimal_cost_from_profile,
+    strictly_dominates,
+)
+from .attack_game import AttackGame, game_from_estimates
+from .asymptotics import (
+    approx_eq,
+    approx_leq,
+    is_negligible,
+    is_noticeable,
+    monte_carlo_tolerance,
+    negl_eq,
+    negl_leq,
+    negligible_envelope,
+    strictly_less,
+)
+
+__all__ = [
+    "FairnessEvent",
+    "adversary_learned_output",
+    "classify",
+    "honest_learned_output",
+    "PARTIAL_FAIRNESS_GAMMA",
+    "STANDARD_GAMMA",
+    "CostedPayoffVector",
+    "PayoffVector",
+    "count_cost",
+    "gamma_fair_grid",
+    "gamma_fair_plus_grid",
+    "zero_cost",
+    "EventCounts",
+    "UtilityEstimate",
+    "best_utility",
+    "estimate_from_counts",
+    "wilson_interval",
+    "Comparison",
+    "ProtocolAssessment",
+    "assess",
+    "at_least_as_fair",
+    "compare",
+    "is_optimally_fair",
+    "BalanceProfile",
+    "balanced_sum_bound",
+    "is_phi_fair",
+    "is_utility_balanced",
+    "optimal_phi",
+    "per_t_bound",
+    "IdealFairnessCheck",
+    "check_ideal_fairness",
+    "cost_from_phi",
+    "dominates",
+    "ideal_payoff",
+    "no_strictly_dominated_cost_exists",
+    "optimal_cost_from_profile",
+    "strictly_dominates",
+    "AttackGame",
+    "game_from_estimates",
+    "approx_eq",
+    "approx_leq",
+    "is_negligible",
+    "is_noticeable",
+    "monte_carlo_tolerance",
+    "negl_eq",
+    "negl_leq",
+    "negligible_envelope",
+    "strictly_less",
+]

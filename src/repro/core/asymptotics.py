@@ -1,0 +1,100 @@
+"""Negligible-aware asymptotic comparisons (paper §2).
+
+The paper's statements are asymptotic in a security parameter k: f ≤negl g
+means f ≤ g + μ for a negligible μ.  In a concrete Monte-Carlo reproduction
+the "negligible" slack manifests as (a) true cryptographic error (forgery
+probabilities around 2^-128, genuinely invisible) and (b) sampling error of
+the estimator.  This module provides:
+
+* callable-level checks (:func:`is_negligible`, :func:`negl_leq`) used in
+  tests that model asymptotics directly, and
+* numeric checks (:func:`approx_leq`, :func:`approx_eq`) with explicit
+  tolerances used when comparing measured utilities to paper bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence
+
+#: Security-parameter probe points used by the callable-level checks.
+DEFAULT_KS = (16, 24, 32, 48, 64, 96, 128)
+
+
+def negligible_envelope(k: int) -> float:
+    """The canonical negligible function 2^-k."""
+    return 2.0 ** (-k)
+
+
+def is_negligible(
+    f: Callable[[int], float],
+    ks: Sequence[int] = DEFAULT_KS,
+    poly_degree: int = 3,
+) -> bool:
+    """Heuristic test that ``f`` vanishes faster than any polynomial.
+
+    Checks that f(k) · k^poly_degree is decreasing and tiny at the largest
+    probe — the operational meaning of negligibility at concrete parameters.
+    """
+    values = [abs(f(k)) * (k**poly_degree) for k in ks]
+    decreasing = all(b <= a * 1.01 + 1e-12 for a, b in zip(values, values[1:]))
+    return decreasing and values[-1] < 1e-6
+
+
+def is_noticeable(
+    f: Callable[[int], float],
+    ks: Sequence[int] = DEFAULT_KS,
+    poly_degree: int = 3,
+) -> bool:
+    """Heuristic test that f(k) >= 1/poly(k) along the probes."""
+    return all(abs(f(k)) >= 1.0 / (k**poly_degree) for k in ks)
+
+
+def negl_leq(
+    f: Callable[[int], float],
+    g: Callable[[int], float],
+    ks: Sequence[int] = DEFAULT_KS,
+) -> bool:
+    """f ≤negl g: f(k) ≤ g(k) + 2^-k at every probe point."""
+    return all(f(k) <= g(k) + negligible_envelope(k) for k in ks)
+
+
+def negl_eq(
+    f: Callable[[int], float],
+    g: Callable[[int], float],
+    ks: Sequence[int] = DEFAULT_KS,
+) -> bool:
+    """f ≈negl g."""
+    return negl_leq(f, g, ks) and negl_leq(g, f, ks)
+
+
+# --------------------------------------------------------------------------
+# Concrete (measured-value) comparisons
+# --------------------------------------------------------------------------
+
+def approx_leq(a: float, b: float, tol: float) -> bool:
+    """a ≤ b up to a statistical tolerance standing in for the negligible
+    slack plus Monte-Carlo error."""
+    if tol < 0:
+        raise ValueError("tolerance must be non-negative")
+    return a <= b + tol
+
+
+def approx_eq(a: float, b: float, tol: float) -> bool:
+    return abs(a - b) <= tol
+
+
+def strictly_less(a: float, b: float, tol: float) -> bool:
+    """a <negl b: a is below b by more than the tolerance."""
+    return a < b - tol
+
+
+def monte_carlo_tolerance(n_runs: int, z: float = 3.0, spread: float = 1.0) -> float:
+    """A conservative tolerance for an estimated mean of bounded payoffs.
+
+    ``spread`` is the payoff range (max − min); the standard error of a
+    bounded mean is at most spread / (2·sqrt(n)).
+    """
+    if n_runs <= 0:
+        raise ValueError("need at least one run")
+    return z * spread / (2.0 * math.sqrt(n_runs))

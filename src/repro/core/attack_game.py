@@ -1,0 +1,111 @@
+"""The RPD attack game (paper §2, Remark 2).
+
+Rational Protocol Design frames security as a two-move zero-sum game: the
+designer D picks a protocol Π; the attacker A, seeing Π, picks the attack
+strategy maximising its utility.  The designer's payoff is −u_A, so an
+optimally fair protocol is exactly a minimax solution: it minimises the
+best-response utility.  Remark 2 notes the Minimax theorem guarantees such
+a solution exists.
+
+:class:`AttackGame` materialises the game over a finite universe of
+implemented protocols and measured strategy utilities, exposing the value
+matrix, each protocol's best response, the designer's minimax choice, and
+(for analyses over mixed designer strategies) the value of a protocol
+mixture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from .payoff import PayoffVector
+from .utility import UtilityEstimate
+
+
+@dataclass
+class AttackGame:
+    """A measured (designer x attacker) utility matrix.
+
+    ``matrix[protocol_name][strategy_name]`` is the measured attacker
+    utility of that strategy against that protocol.
+    """
+
+    gamma: PayoffVector
+    matrix: Dict[str, Dict[str, float]]
+
+    def __post_init__(self):
+        if not self.matrix:
+            raise ValueError("the game needs at least one protocol")
+        for name, row in self.matrix.items():
+            if not row:
+                raise ValueError(f"protocol {name!r} has no measured attacks")
+
+    # -- attacker side --------------------------------------------------------
+    def best_response(self, protocol_name: str) -> Tuple[str, float]:
+        """The attacker's best strategy and its utility against Π."""
+        row = self.matrix[protocol_name]
+        strategy = max(row, key=row.get)
+        return strategy, row[strategy]
+
+    def attacker_value(self, protocol_name: str) -> float:
+        return self.best_response(protocol_name)[1]
+
+    # -- designer side ---------------------------------------------------------
+    def minimax_protocols(self, tol: float = 0.0) -> List[str]:
+        """Designer optima: protocols minimising the best-response utility.
+
+        These are the optimally fair protocols of Definition 2 within the
+        assessed universe (the attack game's pure minimax solutions).
+        """
+        value = self.game_value()
+        return sorted(
+            name
+            for name in self.matrix
+            if self.attacker_value(name) <= value + tol
+        )
+
+    def game_value(self) -> float:
+        """min over protocols of max over strategies (the designer's
+        guaranteed bound on the attacker utility)."""
+        return min(self.attacker_value(name) for name in self.matrix)
+
+    def designer_payoff(self, protocol_name: str) -> float:
+        """The zero-sum designer payoff u_D = −u_A."""
+        return -self.attacker_value(protocol_name)
+
+    def mixture_value(self, weights: Mapping[str, float]) -> float:
+        """Attacker's best response against a designer *mixture*.
+
+        The attacker observes the realised protocol (it moves second), so
+        mixing cannot beat the best pure choice: the value is the weighted
+        average of per-protocol best responses — always >= game_value().
+        """
+        total = sum(weights.values())
+        if not 0.999 <= total <= 1.001:
+            raise ValueError("mixture weights must sum to 1")
+        for name in weights:
+            if name not in self.matrix:
+                raise KeyError(f"unknown protocol {name!r}")
+        return sum(
+            w * self.attacker_value(name) for name, w in weights.items()
+        )
+
+    def as_rows(self) -> List[list]:
+        """Render-ready rows: protocol, best strategy, value."""
+        rows = []
+        for name in sorted(self.matrix, key=self.attacker_value):
+            strategy, value = self.best_response(name)
+            rows.append([name, strategy, value])
+        return rows
+
+
+def game_from_estimates(
+    gamma: PayoffVector,
+    estimates: Sequence[UtilityEstimate],
+) -> AttackGame:
+    """Assemble an AttackGame from per-(protocol, strategy) estimates."""
+    matrix: Dict[str, Dict[str, float]] = {}
+    for est in estimates:
+        matrix.setdefault(est.protocol, {})[est.adversary] = est.mean
+    return AttackGame(gamma, matrix)

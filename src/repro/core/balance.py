@@ -1,0 +1,103 @@
+"""Utility-balanced fairness and φ-fairness (Definitions 5 and 21).
+
+A multi-party protocol is utility-balanced γ-fair when the *sum* of the best
+t-adversaries' utilities over t = 1..n−1 is minimal; the paper shows the
+optimum is (n−1)(γ10+γ11)/2 (Lemmas 14 and 16) and that exceeding this bound
+certifies non-balance.  φ-fairness explicitly bounds the best t-adversary's
+utility by φ(t) for every t.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping
+
+from .payoff import PayoffVector
+from .utility import UtilityEstimate
+
+
+def balanced_sum_bound(n: int, gamma: PayoffVector) -> float:
+    """The utility-balance optimum (n−1)(γ10+γ11)/2 from Lemma 14/16."""
+    if n < 2:
+        raise ValueError("need at least two parties")
+    return (n - 1) * (gamma.gamma10 + gamma.gamma11) / 2.0
+
+
+def per_t_bound(n: int, t: int, gamma: PayoffVector) -> float:
+    """Lemma 11's per-t bound (t·γ10 + (n−t)·γ11)/n for ΠOptnSFE."""
+    if not 1 <= t <= n - 1:
+        raise ValueError(f"t must be in [1, n-1], got t={t}, n={n}")
+    return (t * gamma.gamma10 + (n - t) * gamma.gamma11) / n
+
+
+@dataclass(frozen=True)
+class BalanceProfile:
+    """Measured best-t-adversary utilities u(Π, A_t) for t = 1..n−1."""
+
+    protocol_name: str
+    n: int
+    gamma: PayoffVector
+    per_t: Mapping[int, UtilityEstimate]
+
+    def __post_init__(self):
+        expected = set(range(1, self.n))
+        if set(self.per_t) != expected:
+            raise ValueError(
+                f"need estimates for every t in 1..{self.n - 1}, "
+                f"got {sorted(self.per_t)}"
+            )
+
+    @property
+    def utility_sum(self) -> float:
+        return sum(e.mean for e in self.per_t.values())
+
+    def exceeds_balance_bound(self, tol: float = 0.0) -> bool:
+        """The paper's non-balance criterion: the sum non-negligibly
+        exceeds (n−1)(γ10+γ11)/2."""
+        return self.utility_sum > balanced_sum_bound(self.n, self.gamma) + tol
+
+    def phi(self) -> Callable[[int], float]:
+        """The measured φ function (Definition 21) of this protocol."""
+        values = {t: e.mean for t, e in self.per_t.items()}
+
+        def phi_fn(t: int) -> float:
+            if t not in values:
+                raise ValueError(f"φ measured only on 1..{self.n - 1}")
+            return values[t]
+
+        return phi_fn
+
+
+def is_utility_balanced(
+    profile: BalanceProfile,
+    competitor_sums: Iterable[float] = (),
+    tol: float = 0.0,
+) -> bool:
+    """Definition 5 on measured data.
+
+    The profile is balanced when its utility sum attains the analytic
+    optimum (Lemma 16 shows no protocol sums below it), and no supplied
+    competitor's sum beats it.
+    """
+    bound = balanced_sum_bound(profile.n, profile.gamma)
+    if profile.utility_sum > bound + tol:
+        return False
+    return all(profile.utility_sum <= s + tol for s in competitor_sums)
+
+
+def is_phi_fair(
+    profile: BalanceProfile, phi: Callable[[int], float], tol: float = 0.0
+) -> bool:
+    """Definition 21: u(Π, A_t) ≤ φ(t) for every t."""
+    return all(
+        profile.per_t[t].mean <= phi(t) + tol for t in range(1, profile.n)
+    )
+
+
+def optimal_phi(n: int, gamma: PayoffVector) -> Callable[[int], float]:
+    """The φ attained by ΠOptnSFE: φ(t) = (t·γ10 + (n−t)·γ11)/n."""
+
+    def phi_fn(t: int) -> float:
+        return per_t_bound(n, t, gamma)
+
+    return phi_fn

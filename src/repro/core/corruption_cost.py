@@ -1,0 +1,142 @@
+"""Corruption costs, ideal γC-fairness, and cost dominance.
+
+Implements the machinery of §4.2 / Appendix B.2: Eq. (5) extends the payoff
+with −C(I) for corrupting the set I; Definition 19 calls a protocol *ideally
+γC-fair* when it restricts its best attacker at least as much as the dummy
+Fsfe-hybrid protocol ΦFsfe; Definition 20 orders cost functions by
+dominance; Lemma 22 links φ-fairness and ideal γC-fairness through
+c(t) = φ(t) − s(t), where s(t) is the best t-adversary's payoff against the
+ideal functionality itself; and Theorem 6 shows utility-balanced fairness
+yields the optimal (minimal) cost function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from .balance import BalanceProfile
+from .payoff import PayoffVector
+
+CountCost = Callable[[int], float]
+
+
+def ideal_payoff(gamma: PayoffVector, t: int, n: int) -> float:
+    """s(t): the best t-adversary's payoff against ΦFsfe (the fully fair
+    dummy protocol).
+
+    With guaranteed fair delivery the adversary's choices are E11 (let the
+    computation complete) or E00 (refuse to participate); under Γ+fair,
+    γ00 ≤ γ11, so the optimum is γ11 for 1 ≤ t ≤ n−1.  t = 0 gives γ01 and
+    t = n gives γ11 by definition.
+    """
+    if not 0 <= t <= n:
+        raise ValueError(f"t must be in [0, n], got t={t}, n={n}")
+    gamma.require_fair_plus()
+    if t == 0:
+        return gamma.gamma01
+    return gamma.gamma11
+
+
+def dominates(c1: CountCost, c2: CountCost, n: int, tol: float = 0.0) -> bool:
+    """Definition 20 (weak): c1(t) >= c2(t) for every t in [n]."""
+    return all(c1(t) >= c2(t) - tol for t in range(1, n + 1))
+
+
+def strictly_dominates(
+    c1: CountCost, c2: CountCost, n: int, tol: float = 0.0
+) -> bool:
+    """Definition 20 (strict): c1(t) > c2(t) for every t in [n]."""
+    return all(c1(t) > c2(t) + tol for t in range(1, n + 1))
+
+
+def cost_from_phi(
+    phi: Callable[[int], float], gamma: PayoffVector, n: int
+) -> CountCost:
+    """Lemma 22's cost function c(t) = φ(t) − s(t).
+
+    A φ-fair protocol is ideally γC-fair exactly for this cost function:
+    charging the adversary c(t) for t corruptions pushes its net payoff
+    down to what it would obtain against the ideal functionality.
+    """
+
+    def c(t: int) -> float:
+        if t >= n:
+            # Corrupting everyone is worth γ11 to the adversary by
+            # definition, so the residual advantage is zero.
+            return 0.0
+        return phi(t) - ideal_payoff(gamma, t, n)
+
+    return c
+
+
+@dataclass(frozen=True)
+class IdealFairnessCheck:
+    """The result of checking ideal γC-fairness (Definition 19)."""
+
+    protocol_name: str
+    n: int
+    gamma: PayoffVector
+    #: per-t net utilities after subtracting the corruption cost
+    net_utilities: Dict[int, float]
+    #: per-t ideal (dummy-protocol) payoffs s(t)
+    ideal_payoffs: Dict[int, float]
+
+    def holds(self, tol: float = 0.0) -> bool:
+        return all(
+            self.net_utilities[t] <= self.ideal_payoffs[t] + tol
+            for t in self.net_utilities
+        )
+
+
+def check_ideal_fairness(
+    profile: BalanceProfile, cost: CountCost, tol: float = 0.0
+) -> IdealFairnessCheck:
+    """Check Definition 19 for a measured balance profile under ``cost``.
+
+    For each t, the best t-adversary's *net* payoff u(Π, A_t) − c(t) must
+    not exceed s(t), its payoff against the dummy protocol ΦFsfe.
+    """
+    gamma = profile.gamma
+    n = profile.n
+    net = {
+        t: profile.per_t[t].mean - cost(t) for t in range(1, n)
+    }
+    ideal = {t: ideal_payoff(gamma, t, n) for t in range(1, n)}
+    return IdealFairnessCheck(
+        protocol_name=profile.protocol_name,
+        n=n,
+        gamma=gamma,
+        net_utilities=net,
+        ideal_payoffs=ideal,
+    )
+
+
+def optimal_cost_from_profile(profile: BalanceProfile) -> CountCost:
+    """Theorem 6(1): the cost function c(t) = u(Π, A_t) − s(t) under which a
+    utility-balanced protocol is ideally γC-fair (and, by Theorem 6(2),
+    no strictly dominated cost admits any ideally fair protocol)."""
+    return cost_from_phi(profile.phi(), profile.gamma, profile.n)
+
+
+def no_strictly_dominated_cost_exists(
+    profile: BalanceProfile,
+    competitor_profiles: List[BalanceProfile],
+    tol: float = 0.0,
+) -> bool:
+    """Theorem 6(2) on measured data.
+
+    For every competitor protocol, derive its induced cost function and
+    verify it does not strictly dominate (i.e. is not strictly cheaper
+    than) the candidate's — which would contradict the candidate's
+    utility-balance by Lemma 16.
+    """
+    candidate_cost = optimal_cost_from_profile(profile)
+    n = profile.n
+    for other in competitor_profiles:
+        other_cost = optimal_cost_from_profile(other)
+        # "other strictly dominated by candidate" means other is strictly
+        # cheaper at every t — impossible for balanced candidates.
+        if strictly_dominates(candidate_cost, other_cost, n - 1, tol):
+            return False
+    return True

@@ -1,0 +1,137 @@
+"""Expected attacker payoff (Eq. (1)/(2)) over measured event distributions.
+
+The RPD utility û(Π, A) is the payoff of the best simulator for A under the
+least favourable environment.  The proofs compute it by analysing which
+events the (optimal) simulator is forced to provoke; our estimator measures
+the frequencies of exactly those events across executions and folds them
+with the payoff vector.  :class:`UtilityEstimate` carries the point estimate
+plus a confidence interval so comparisons can be made negligible-aware.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from .events import FairnessEvent
+from .payoff import PayoffVector
+
+
+@dataclass
+class EventCounts:
+    """Counts of fairness events over a batch of executions."""
+
+    counts: Dict[FairnessEvent, int] = field(
+        default_factory=lambda: {e: 0 for e in FairnessEvent}
+    )
+    corruption_counts: Dict[frozenset, int] = field(default_factory=dict)
+
+    def record(self, event: FairnessEvent, corrupted=frozenset()) -> None:
+        self.counts[event] = self.counts.get(event, 0) + 1
+        key = frozenset(corrupted)
+        self.corruption_counts[key] = self.corruption_counts.get(key, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def distribution(self) -> Dict[FairnessEvent, float]:
+        n = self.total
+        if n == 0:
+            raise ValueError("no events recorded")
+        return {e: c / n for e, c in self.counts.items()}
+
+    def corruption_distribution(self) -> Dict[frozenset, float]:
+        n = self.total
+        return {s: c / n for s, c in self.corruption_counts.items()}
+
+    def frequency(self, event: FairnessEvent) -> float:
+        return self.counts.get(event, 0) / max(self.total, 1)
+
+
+def wilson_interval(successes: int, n: int, z: float = 2.5758) -> tuple:
+    """Wilson score interval for a binomial proportion (default 99%)."""
+    if n == 0:
+        return (0.0, 1.0)
+    p = successes / n
+    denom = 1 + z * z / n
+    centre = (p + z * z / (2 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+@dataclass(frozen=True)
+class UtilityEstimate:
+    """A measured attacker utility with uncertainty.
+
+    ``mean`` is the Monte-Carlo point estimate of U = Σ γij·Pr[Eij] (minus
+    corruption costs when a costed vector was used); ``ci_low``/``ci_high``
+    bound it with the per-event Wilson intervals combined conservatively.
+    """
+
+    mean: float
+    ci_low: float
+    ci_high: float
+    n_runs: int
+    event_distribution: Mapping[FairnessEvent, float]
+    protocol: str = ""
+    adversary: str = ""
+    cost_mean: float = 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"U({self.protocol}, {self.adversary}) = {self.mean:.4f} "
+            f"[{self.ci_low:.4f}, {self.ci_high:.4f}] over {self.n_runs} runs"
+        )
+
+
+def estimate_from_counts(
+    counts: EventCounts,
+    gamma: PayoffVector,
+    protocol: str = "",
+    adversary: str = "",
+    cost=None,
+) -> UtilityEstimate:
+    """Fold event counts with a payoff vector into a UtilityEstimate."""
+    n = counts.total
+    dist = counts.distribution()
+    mean = gamma.expected(dist)
+    cost_mean = 0.0
+    if cost is not None:
+        cost_mean = sum(
+            cost(i_set) * p
+            for i_set, p in counts.corruption_distribution().items()
+        )
+        mean -= cost_mean
+
+    # Conservative CI: for each event, use the Wilson bound on its
+    # probability in the direction that moves the utility.
+    lo = hi = 0.0
+    for event in FairnessEvent:
+        g = gamma.value(event)
+        p_lo, p_hi = wilson_interval(counts.counts.get(event, 0), n)
+        if g >= 0:
+            lo += g * p_lo
+            hi += g * p_hi
+        else:
+            lo += g * p_hi
+            hi += g * p_lo
+    return UtilityEstimate(
+        mean=mean,
+        ci_low=lo - cost_mean,
+        ci_high=hi - cost_mean,
+        n_runs=n,
+        event_distribution=dist,
+        protocol=protocol,
+        adversary=adversary,
+        cost_mean=cost_mean,
+    )
+
+
+def best_utility(estimates) -> Optional[UtilityEstimate]:
+    """sup over adversaries: the estimate with the largest mean."""
+    estimates = list(estimates)
+    if not estimates:
+        return None
+    return max(estimates, key=lambda e: e.mean)

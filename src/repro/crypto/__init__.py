@@ -1,0 +1,86 @@
+"""Cryptographic substrates for the fairness library.
+
+Everything is implemented from scratch on SHA-256: MACs (HMAC), commitments,
+Lamport one-time signatures, additive/Shamir/authenticated secret sharing,
+one-time pads, and a deterministic forkable RNG.  See DESIGN.md §2 for the
+mapping from paper primitives to these modules.
+"""
+
+from .field import Bits, DEFAULT_PRIME, Field
+from .prf import Prg, Rng
+from .mac import MacKey, gen_mac_key, tag, verify
+from .commitment import Commitment, Opening, commit, open_commitment
+from .signature import Signature, SigningKey, VerificationKey, gen, sign, ver
+from .secret_sharing import (
+    ShamirShare,
+    additive_reconstruct,
+    additive_share,
+    shamir_reconstruct,
+    shamir_share,
+    xor_reconstruct,
+    xor_share,
+)
+from .authenticated_sharing import (
+    AuthenticatedShare,
+    ShareVerificationError,
+    deal,
+    reconstruct,
+)
+from .otp import blind, blind_vector, gen_pad, unblind
+from .vss import VssError, VssShare, VssVerifierKey
+from .merkle import MerkleProof, MerkleTree, verify_inclusion
+from .mts import (
+    MtsPublicKey,
+    MtsSignature,
+    MtsSigner,
+    SignatureCapacityExceeded,
+    mts_verify,
+)
+
+__all__ = [
+    "Bits",
+    "DEFAULT_PRIME",
+    "Field",
+    "Prg",
+    "Rng",
+    "MacKey",
+    "gen_mac_key",
+    "tag",
+    "verify",
+    "Commitment",
+    "Opening",
+    "commit",
+    "open_commitment",
+    "Signature",
+    "SigningKey",
+    "VerificationKey",
+    "gen",
+    "sign",
+    "ver",
+    "ShamirShare",
+    "additive_reconstruct",
+    "additive_share",
+    "shamir_reconstruct",
+    "shamir_share",
+    "xor_reconstruct",
+    "xor_share",
+    "AuthenticatedShare",
+    "ShareVerificationError",
+    "deal",
+    "reconstruct",
+    "blind",
+    "blind_vector",
+    "gen_pad",
+    "unblind",
+    "MerkleProof",
+    "MerkleTree",
+    "verify_inclusion",
+    "MtsPublicKey",
+    "MtsSignature",
+    "MtsSigner",
+    "SignatureCapacityExceeded",
+    "mts_verify",
+    "VssError",
+    "VssShare",
+    "VssVerifierKey",
+]

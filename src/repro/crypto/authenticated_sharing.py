@@ -1,0 +1,114 @@
+"""Authenticated additive secret sharing (paper, Appendix A).
+
+A sharing of a secret ``s`` is a pair of random field elements (the
+*summands*) with ``s1 + s2 = (s, tag(s, k1), tag(s, k2))`` where ``k1, k2``
+are MAC keys held by p1 and p2.  Each party pi holds:
+
+* its summand ``si`` together with ``tag(si, k¬i)`` — so the *other* party
+  can verify the summand when it is sent over for reconstruction, and
+* its own key ``ki``, used to verify both the incoming summand's tag and
+  the tag embedded in the reconstructed payload.
+
+Reconstruction towards pi: p¬i sends ``(s¬i, tag(s¬i, ki))``; pi verifies the
+summand tag under ki, adds the summands, unpacks ``(s, t1, t2)`` and verifies
+``ti`` under ki.  Any failure raises :class:`ShareVerificationError`, which
+the calling protocol turns into an abort.
+"""
+
+from __future__ import annotations
+
+from .immutable import Immutable
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .field import Field, DEFAULT_PRIME
+from .mac import MacKey, TAG_LENGTH, gen_mac_key, tag, verify
+from .prf import Rng
+
+#: Maximum bit-width of the secret payload packed into a field element.
+SECRET_BITS = 128
+_TAG_BITS = TAG_LENGTH * 8
+
+
+class ShareVerificationError(Exception):
+    """A MAC check failed during reconstruction (cheating detected)."""
+
+
+def _pack(secret: int, t1: bytes, t2: bytes) -> int:
+    """Pack the (s, tag1, tag2) triple into a single field element."""
+    if not 0 <= secret < (1 << SECRET_BITS):
+        raise ValueError(f"secret must fit in {SECRET_BITS} bits")
+    return (
+        (secret << (2 * _TAG_BITS))
+        | (int.from_bytes(t1, "big") << _TAG_BITS)
+        | int.from_bytes(t2, "big")
+    )
+
+
+def _unpack(packed: int) -> Tuple[int, bytes, bytes]:
+    mask = (1 << _TAG_BITS) - 1
+    t2 = (packed & mask).to_bytes(TAG_LENGTH, "big")
+    t1 = ((packed >> _TAG_BITS) & mask).to_bytes(TAG_LENGTH, "big")
+    secret = packed >> (2 * _TAG_BITS)
+    return secret, t1, t2
+
+
+@dataclass(frozen=True)
+class AuthenticatedShare(Immutable):
+    """Party pi's share ``<s>_i``: summand, its cross-tag, and pi's key."""
+
+    index: int  # 1 or 2
+    summand: int
+    summand_tag: bytes  # tag(summand, k_{other})
+    key: MacKey  # k_i
+
+    def wire_message(self) -> Tuple[int, bytes]:
+        """What pi sends to the other party during reconstruction."""
+        return (self.summand, self.summand_tag)
+
+
+def deal(
+    secret: int, rng: Rng, field: Field = None
+) -> Tuple[AuthenticatedShare, AuthenticatedShare]:
+    """Create an authenticated 2-of-2 sharing ``<s>`` of ``secret``."""
+    field = field or Field(DEFAULT_PRIME)
+    if field.p.bit_length() <= SECRET_BITS + 2 * _TAG_BITS:
+        raise ValueError("field too small for authenticated payload")
+    k1 = gen_mac_key(rng.fork("mac-key-1"))
+    k2 = gen_mac_key(rng.fork("mac-key-2"))
+    payload = _pack(secret, tag(secret, k1), tag(secret, k2))
+    s1 = field.random_element(rng)
+    s2 = field.sub(payload, s1)
+    share1 = AuthenticatedShare(1, s1, tag(s1, k2), k1)
+    share2 = AuthenticatedShare(2, s2, tag(s2, k1), k2)
+    return share1, share2
+
+
+def reconstruct(
+    own: AuthenticatedShare,
+    received: Tuple[int, bytes],
+    field: Field = None,
+) -> int:
+    """Reconstruct the secret towards the holder of ``own``.
+
+    ``received`` is the other party's wire message ``(summand, tag)``.
+    Raises :class:`ShareVerificationError` on any MAC failure.
+    """
+    field = field or Field(DEFAULT_PRIME)
+    if (
+        not isinstance(received, tuple)
+        or len(received) != 2
+        or not isinstance(received[0], int)
+        or not isinstance(received[1], bytes)
+    ):
+        raise ShareVerificationError("malformed reconstruction message")
+    other_summand, other_tag = received
+    if not verify(other_summand, other_tag, own.key):
+        raise ShareVerificationError("summand MAC verification failed")
+    payload = field.add(own.summand, other_summand)
+    secret, t1, t2 = _unpack(payload)
+    own_payload_tag = t1 if own.index == 1 else t2
+    if not verify(secret, own_payload_tag, own.key):
+        raise ShareVerificationError("payload MAC verification failed")
+    return secret

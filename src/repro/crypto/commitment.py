@@ -1,0 +1,54 @@
+"""Hash-based commitments.
+
+Protocols Π1 and Π2 from the paper's introduction exchange commitments to
+signed contracts and to coin-toss bits.  We use the standard hash commitment
+``commit(m; r) = H(r ∥ m)`` with a 128-bit random nonce: computationally
+hiding (random-oracle style) and binding up to collisions of SHA-256.
+"""
+
+from __future__ import annotations
+
+from .immutable import Immutable
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from .mac import _encode
+from .prf import Rng
+
+NONCE_LENGTH = 16
+
+
+@dataclass(frozen=True)
+class Commitment(Immutable):
+    """The public commitment string."""
+
+    digest: bytes
+
+
+@dataclass(frozen=True)
+class Opening(Immutable):
+    """The opening information: nonce plus the committed message."""
+
+    nonce: bytes
+    message: object
+
+
+def commit(message, rng: Rng) -> tuple:
+    """Commit to ``message``; returns ``(Commitment, Opening)``."""
+    nonce = rng.randbytes(NONCE_LENGTH)
+    digest = hashlib.sha256(nonce + _encode(message)).digest()
+    return Commitment(digest), Opening(nonce, message)
+
+
+def open_commitment(commitment: Commitment, opening: Opening) -> bool:
+    """Check that ``opening`` is a valid opening of ``commitment``."""
+    if not isinstance(opening, Opening) or not isinstance(commitment, Commitment):
+        return False
+    try:
+        encoded = _encode(opening.message)
+    except TypeError:
+        return False
+    digest = hashlib.sha256(opening.nonce + encoded).digest()
+    return hmac.compare_digest(digest, commitment.digest)

@@ -1,0 +1,210 @@
+"""Prime-field arithmetic and bitstring helpers.
+
+The authenticated secret-sharing scheme from Appendix A of the paper shares
+field elements: a secret ``s`` is split into two uniformly random summands
+``s1 + s2 = (s, tag(s, k1), tag(s, k2))`` over a field large enough to hold
+the payload.  We work over a fixed Mersenne-like prime field GF(p) that
+comfortably holds 128-bit payloads, plus a variable-size field for Shamir
+sharing with small party counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+#: Default prime: 2**521 - 1 (a Mersenne prime), large enough to embed
+#: (value, tag, tag) triples of the sizes used throughout the library.
+DEFAULT_PRIME = 2**521 - 1
+
+
+def is_probable_prime(n: int, rounds: int = 16) -> bool:
+    """Miller-Rabin primality test (deterministic witnesses for small n)."""
+    if n < 2:
+        return False
+    small_primes = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]
+    for p in small_primes:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    # Deterministic witness set; sound for n < 3.3e24 and a strong
+    # probabilistic test beyond that, which suffices for library parameters.
+    for a in small_primes[:rounds]:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+class Field:
+    """A prime field GF(p) with the handful of operations the library needs.
+
+    Instances are lightweight and hashable; two fields compare equal iff
+    their moduli are equal.
+    """
+
+    __slots__ = ("p",)
+
+    def __init__(self, p: int = DEFAULT_PRIME):
+        if p < 2:
+            raise ValueError(f"field modulus must be >= 2, got {p}")
+        self.p = p
+
+    # -- structural -------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Field) and other.p == self.p
+
+    def __hash__(self) -> int:
+        return hash(("Field", self.p))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Field(p={self.p})"
+
+    # -- arithmetic -------------------------------------------------------
+    def reduce(self, x: int) -> int:
+        return x % self.p
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.p
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) % self.p
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.p
+
+    def neg(self, a: int) -> int:
+        return (-a) % self.p
+
+    def inv(self, a: int) -> int:
+        a %= self.p
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse")
+        return pow(a, self.p - 2, self.p)
+
+    def div(self, a: int, b: int) -> int:
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, e: int) -> int:
+        return pow(a % self.p, e, self.p)
+
+    def sum(self, xs: Iterable[int]) -> int:
+        total = 0
+        for x in xs:
+            total = (total + x) % self.p
+        return total
+
+    # -- sampling ---------------------------------------------------------
+    def random_element(self, rng) -> int:
+        """Uniform element of GF(p) using ``rng.randrange``."""
+        return rng.randrange(self.p)
+
+    def random_nonzero(self, rng) -> int:
+        return 1 + rng.randrange(self.p - 1)
+
+    # -- polynomials (for Shamir) ------------------------------------------
+    def poly_eval(self, coeffs: Sequence[int], x: int) -> int:
+        """Evaluate a polynomial given low-to-high coefficients at ``x``."""
+        acc = 0
+        for c in reversed(coeffs):
+            acc = (acc * x + c) % self.p
+        return acc
+
+    def lagrange_interpolate_at_zero(self, points: Sequence[tuple]) -> int:
+        """Interpolate the polynomial through ``points`` and return f(0).
+
+        ``points`` is a sequence of distinct (x, y) pairs.
+        """
+        xs = [x for x, _ in points]
+        if len(set(xs)) != len(xs):
+            raise ValueError("interpolation points must have distinct x")
+        secret = 0
+        for i, (xi, yi) in enumerate(points):
+            num, den = 1, 1
+            for j, (xj, _) in enumerate(points):
+                if i == j:
+                    continue
+                num = (num * (-xj)) % self.p
+                den = (den * (xi - xj)) % self.p
+            secret = (secret + yi * num * self.inv(den)) % self.p
+        return secret
+
+
+@dataclass(frozen=True)
+class Bits:
+    """An immutable bitstring with xor and integer conversions.
+
+    Used for one-time-pad blinding and GMW wire values.
+    """
+
+    values: tuple
+
+    def __post_init__(self):
+        for b in self.values:
+            if b not in (0, 1):
+                raise ValueError(f"bit values must be 0/1, got {b!r}")
+
+    @classmethod
+    def from_int(cls, x: int, width: int) -> "Bits":
+        if x < 0 or x >= (1 << width):
+            raise ValueError(f"{x} does not fit in {width} bits")
+        return cls(tuple((x >> i) & 1 for i in range(width)))
+
+    @classmethod
+    def zeros(cls, width: int) -> "Bits":
+        return cls((0,) * width)
+
+    @classmethod
+    def random(cls, width: int, rng) -> "Bits":
+        return cls(tuple(rng.randrange(2) for _ in range(width)))
+
+    def to_int(self) -> int:
+        return sum(b << i for i, b in enumerate(self.values))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __getitem__(self, i):
+        return self.values[i]
+
+    def __xor__(self, other: "Bits") -> "Bits":
+        if len(self) != len(other):
+            raise ValueError("xor of bitstrings with different widths")
+        return Bits(tuple(a ^ b for a, b in zip(self.values, other.values)))
+
+    def concat(self, other: "Bits") -> "Bits":
+        return Bits(self.values + other.values)
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError("xor_bytes requires equal lengths")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def int_to_bytes(x: int, length: int) -> bytes:
+    return x.to_bytes(length, "big")
+
+
+def bytes_to_int(b: bytes) -> int:
+    return int.from_bytes(b, "big")
+
+
+def split_blocks(data: bytes, block: int) -> List[bytes]:
+    """Split ``data`` into ``block``-sized chunks (last one may be short)."""
+    if block <= 0:
+        raise ValueError("block size must be positive")
+    return [data[i : i + block] for i in range(0, len(data), block)]

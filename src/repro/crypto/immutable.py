@@ -1,0 +1,21 @@
+"""Deep-copy shortcut for immutable value objects.
+
+Lock-watching adversaries clone party machines every round (the coalition
+probe); machine state is dominated by frozen crypto dataclasses, which are
+safe to share across clones.  Mixing this in turns their deep copies into
+identity operations.
+"""
+
+from __future__ import annotations
+
+
+class Immutable:
+    """Opt-out of deep copying: instances are frozen value objects."""
+
+    __slots__ = ()
+
+    def __deepcopy__(self, memo):
+        return self
+
+    def __copy__(self):
+        return self

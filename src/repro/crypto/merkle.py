@@ -1,0 +1,88 @@
+"""Merkle trees over SHA-256.
+
+Substrate for the many-time signature scheme
+(:mod:`repro.crypto.mts`): the signer commits to a batch of one-time
+verification keys with a single root; each signature carries an
+authentication path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .immutable import Immutable
+
+
+def _hash_leaf(data: bytes) -> bytes:
+    return hashlib.sha256(b"leaf:" + data).digest()
+
+
+def _hash_node(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(b"node:" + left + right).digest()
+
+
+@dataclass(frozen=True)
+class MerkleProof(Immutable):
+    """Authentication path for one leaf."""
+
+    index: int
+    siblings: tuple  # bottom-up sibling hashes
+
+
+class MerkleTree:
+    """A complete binary Merkle tree (leaf count padded to a power of 2)."""
+
+    def __init__(self, leaves: Sequence[bytes]):
+        if not leaves:
+            raise ValueError("need at least one leaf")
+        if not all(isinstance(l, bytes) for l in leaves):
+            raise TypeError("leaves must be bytes")
+        self.n_leaves = len(leaves)
+        size = 1
+        while size < len(leaves):
+            size *= 2
+        padded = list(leaves) + [b""] * (size - len(leaves))
+        level: List[bytes] = [_hash_leaf(l) for l in padded]
+        self._levels: List[List[bytes]] = [level]
+        while len(level) > 1:
+            level = [
+                _hash_node(level[i], level[i + 1])
+                for i in range(0, len(level), 2)
+            ]
+            self._levels.append(level)
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    def prove(self, index: int) -> MerkleProof:
+        """Authentication path for leaf ``index``."""
+        if not 0 <= index < self.n_leaves:
+            raise IndexError(f"no such leaf: {index}")
+        siblings = []
+        position = index
+        for level in self._levels[:-1]:
+            sibling = position ^ 1
+            siblings.append(level[sibling])
+            position //= 2
+        return MerkleProof(index, tuple(siblings))
+
+
+def verify_inclusion(root: bytes, leaf: bytes, proof: MerkleProof) -> bool:
+    """Check that ``leaf`` sits at ``proof.index`` under ``root``."""
+    if not isinstance(proof, MerkleProof) or not isinstance(leaf, bytes):
+        return False
+    node = _hash_leaf(leaf)
+    position = proof.index
+    for sibling in proof.siblings:
+        if not isinstance(sibling, bytes):
+            return False
+        if position % 2 == 0:
+            node = _hash_node(node, sibling)
+        else:
+            node = _hash_node(sibling, node)
+        position //= 2
+    return hmac.compare_digest(node, root)

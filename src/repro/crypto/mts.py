@@ -1,0 +1,104 @@
+"""Many-time hash-based signatures (Merkle-certified Lamport keys).
+
+The Dolev–Strong broadcast substrate needs each party to sign several
+messages per execution; plain Lamport keys are one-time.  The classic fix:
+generate a batch of one-time key pairs, commit to their verification keys
+in a Merkle tree, and publish only the root.  Each signature reveals the
+one-time key used plus its authentication path; security reduces to the
+one-time scheme plus collision resistance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from . import signature as ots
+from .immutable import Immutable
+from .merkle import MerkleProof, MerkleTree, verify_inclusion
+from .prf import Rng
+
+
+class SignatureCapacityExceeded(Exception):
+    """The signer has used all of its one-time keys."""
+
+
+def _encode_vk(vk: ots.VerificationKey) -> bytes:
+    return b"".join(h0 + h1 for h0, h1 in vk.pairs)
+
+
+@dataclass(frozen=True)
+class MtsSignature(Immutable):
+    """A many-time signature: the OTS signature plus key certification."""
+
+    index: int
+    ots_signature: ots.Signature
+    verification_key: ots.VerificationKey
+    proof: MerkleProof
+
+
+@dataclass(frozen=True)
+class MtsPublicKey(Immutable):
+    """The Merkle root over the batch of one-time verification keys."""
+
+    root: bytes
+    capacity: int
+
+
+class MtsSigner:
+    """Stateful signer over a fixed batch of one-time keys."""
+
+    def __init__(self, rng: Rng, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._keypairs: Tuple = tuple(
+            ots.gen(rng.fork(f"mts-{i}")) for i in range(capacity)
+        )
+        self._tree = MerkleTree(
+            [_encode_vk(vk) for _, vk in self._keypairs]
+        )
+        self._next = 0
+
+    @property
+    def public_key(self) -> MtsPublicKey:
+        return MtsPublicKey(self._tree.root, self.capacity)
+
+    @property
+    def remaining(self) -> int:
+        return self.capacity - self._next
+
+    def sign(self, message) -> MtsSignature:
+        """Sign with the next unused one-time key."""
+        if self._next >= self.capacity:
+            raise SignatureCapacityExceeded(
+                f"all {self.capacity} one-time keys used"
+            )
+        index = self._next
+        self._next += 1
+        sk, vk = self._keypairs[index]
+        return MtsSignature(
+            index=index,
+            ots_signature=ots.sign(message, sk),
+            verification_key=vk,
+            proof=self._tree.prove(index),
+        )
+
+
+def mts_verify(message, sig: MtsSignature, public_key: MtsPublicKey) -> bool:
+    """Verify a many-time signature against the Merkle root."""
+    if not isinstance(sig, MtsSignature) or not isinstance(
+        public_key, MtsPublicKey
+    ):
+        return False
+    if not 0 <= sig.index < public_key.capacity:
+        return False
+    if sig.proof.index != sig.index:
+        return False
+    if not isinstance(sig.verification_key, ots.VerificationKey):
+        return False
+    if not verify_inclusion(
+        public_key.root, _encode_vk(sig.verification_key), sig.proof
+    ):
+        return False
+    return ots.ver(message, sig.ots_signature, sig.verification_key)

@@ -1,0 +1,41 @@
+"""One-time-pad blinding (paper, Appendix B).
+
+ΠOptnSFE converts private outputs to a public output: each party pi
+contributes a one-time-pad key ki and receives the vector
+``y = (y1 ⊕ k1, ..., yn ⊕ kn)``; pi decrypts component i with its key and
+learns nothing about the other components, which stay perfectly blinded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .prf import Rng
+
+
+def gen_pad(width_bits: int, rng: Rng) -> int:
+    """Sample a uniform ``width_bits``-bit pad."""
+    if width_bits <= 0:
+        raise ValueError("pad width must be positive")
+    return rng.getrandbits(width_bits)
+
+
+def blind(value: int, pad: int, width_bits: int) -> int:
+    """XOR-encrypt ``value`` with ``pad`` (both < 2**width_bits)."""
+    if not 0 <= value < (1 << width_bits):
+        raise ValueError(f"value does not fit in {width_bits} bits")
+    return value ^ (pad & ((1 << width_bits) - 1))
+
+
+def unblind(ciphertext: int, pad: int, width_bits: int) -> int:
+    """XOR-decrypt; identical to :func:`blind` by involution."""
+    return blind(ciphertext, pad, width_bits)
+
+
+def blind_vector(
+    values: Sequence[int], pads: Sequence[int], width_bits: int
+) -> List[int]:
+    """Blind the private-output vector component-wise (Appendix B transform)."""
+    if len(values) != len(pads):
+        raise ValueError("one pad per value is required")
+    return [blind(v, k, width_bits) for v, k in zip(values, pads)]

@@ -1,0 +1,117 @@
+"""Hash-based PRG / PRF utilities.
+
+All randomness inside protocol machines is drawn from explicit ``Rng``
+objects so that executions are reproducible given a seed.  The PRG expands a
+seed deterministically with SHA-256 in counter mode; ``Rng`` wraps it with a
+``random.Random``-compatible subset of the API (``randrange``, ``random``,
+``choice``, ``getrandbits``, ``randbytes``) plus a ``fork`` operation for
+deriving independent sub-streams — the standard trick for giving each party,
+functionality, and adversary its own stream while keeping one master seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+
+class Prg:
+    """SHA-256 counter-mode pseudorandom generator."""
+
+    def __init__(self, seed: bytes):
+        if not isinstance(seed, (bytes, bytearray)):
+            raise TypeError("Prg seed must be bytes")
+        self._seed = bytes(seed)
+        self._counter = 0
+        self._buffer = b""
+
+    def read(self, n: int) -> bytes:
+        """Return the next ``n`` pseudorandom bytes."""
+        if n < 0:
+            raise ValueError("cannot read a negative number of bytes")
+        while len(self._buffer) < n:
+            block = hashlib.sha256(
+                self._seed + self._counter.to_bytes(8, "big")
+            ).digest()
+            self._counter += 1
+            self._buffer += block
+        out, self._buffer = self._buffer[:n], self._buffer[n:]
+        return out
+
+
+class Rng:
+    """Deterministic RNG with fork support, backed by :class:`Prg`."""
+
+    def __init__(self, seed):
+        if isinstance(seed, int):
+            seed = seed.to_bytes(16, "big", signed=True)
+        elif isinstance(seed, str):
+            seed = seed.encode()
+        elif not isinstance(seed, (bytes, bytearray)):
+            # Composite seeds (tuples of run labels, etc.): canonical repr.
+            seed = repr(seed).encode()
+        self._prg = Prg(hashlib.sha256(b"rng:" + bytes(seed)).digest())
+        self._seed = bytes(seed)
+
+    def fork(self, label: str) -> "Rng":
+        """Derive an independent RNG for the given label.
+
+        Forking with the same label twice yields identical streams, so
+        labels must be unique per logical consumer.
+        """
+        return Rng(hashlib.sha256(self._seed + b"/" + label.encode()).digest())
+
+    # -- random.Random-compatible subset -----------------------------------
+    def getrandbits(self, k: int) -> int:
+        if k < 0:
+            raise ValueError("number of bits must be non-negative")
+        if k == 0:
+            return 0
+        nbytes = (k + 7) // 8
+        x = int.from_bytes(self._prg.read(nbytes), "big")
+        return x >> (nbytes * 8 - k)
+
+    def randbytes(self, n: int) -> bytes:
+        return self._prg.read(n)
+
+    def randrange(self, start: int, stop: int = None) -> int:
+        if stop is None:
+            start, stop = 0, start
+        width = stop - start
+        if width <= 0:
+            raise ValueError(f"empty range ({start}, {stop})")
+        k = width.bit_length()
+        # Rejection sampling for uniformity.
+        while True:
+            x = self.getrandbits(k)
+            if x < width:
+                return start + x
+
+    def randint(self, a: int, b: int) -> int:
+        return self.randrange(a, b + 1)
+
+    def random(self) -> float:
+        return self.getrandbits(53) / (1 << 53)
+
+    def choice(self, seq: Sequence):
+        if not seq:
+            raise IndexError("cannot choose from an empty sequence")
+        return seq[self.randrange(len(seq))]
+
+    def shuffle(self, xs: list) -> None:
+        for i in range(len(xs) - 1, 0, -1):
+            j = self.randrange(i + 1)
+            xs[i], xs[j] = xs[j], xs[i]
+
+    def sample(self, population: Sequence, k: int) -> list:
+        if k > len(population):
+            raise ValueError("sample larger than population")
+        pool = list(population)
+        self.shuffle(pool)
+        return pool[:k]
+
+    def coin(self, p_heads: float = 0.5) -> bool:
+        """Biased coin toss; True with probability ``p_heads``."""
+        if not 0.0 <= p_heads <= 1.0:
+            raise ValueError("probability must lie in [0, 1]")
+        return self.random() < p_heads

@@ -1,0 +1,115 @@
+"""Plain (unauthenticated) secret sharing: additive n-of-n and Shamir t-of-n.
+
+Additive sharing underlies both the two-party authenticated scheme from the
+paper's Appendix A and the GMW wire sharing (over GF(2)).  Shamir sharing
+underlies the honest-majority threshold variant Π½GMW analysed in Lemma 17,
+whose d(n/2)e-out-of-n verifiable secret sharing we model with Shamir shares
+plus per-share MACs (see :mod:`repro.crypto.vss`).
+"""
+
+from __future__ import annotations
+
+from .immutable import Immutable
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .field import Field
+from .prf import Rng
+
+
+# --------------------------------------------------------------------------
+# Additive sharing
+# --------------------------------------------------------------------------
+
+def additive_share(secret: int, n: int, field: Field, rng: Rng) -> List[int]:
+    """Split ``secret`` into ``n`` additive summands over ``field``.
+
+    Any n-1 summands are jointly uniform; all n reconstruct by summation.
+    """
+    if n < 1:
+        raise ValueError("need at least one share")
+    secret = field.reduce(secret)
+    shares = [field.random_element(rng) for _ in range(n - 1)]
+    last = field.sub(secret, field.sum(shares))
+    shares.append(last)
+    return shares
+
+
+def additive_reconstruct(shares: Sequence[int], field: Field) -> int:
+    """Recombine additive summands."""
+    if not shares:
+        raise ValueError("no shares to reconstruct from")
+    return field.sum(shares)
+
+
+def xor_share(bit: int, n: int, rng: Rng) -> List[int]:
+    """Additive sharing over GF(2): the GMW wire representation."""
+    if bit not in (0, 1):
+        raise ValueError("xor_share shares single bits")
+    shares = [rng.randrange(2) for _ in range(n - 1)]
+    last = bit
+    for s in shares:
+        last ^= s
+    shares.append(last)
+    return shares
+
+
+def xor_reconstruct(shares: Sequence[int]) -> int:
+    acc = 0
+    for s in shares:
+        if s not in (0, 1):
+            raise ValueError("xor shares must be bits")
+        acc ^= s
+    return acc
+
+
+# --------------------------------------------------------------------------
+# Shamir sharing
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShamirShare(Immutable):
+    """One party's Shamir share: the evaluation point and the value."""
+
+    x: int
+    y: int
+
+
+def shamir_share(
+    secret: int, threshold: int, n: int, field: Field, rng: Rng
+) -> List[ShamirShare]:
+    """Shamir ``threshold``-out-of-``n`` sharing of ``secret``.
+
+    ``threshold`` shares are necessary and sufficient for reconstruction
+    (polynomial degree is ``threshold - 1``).
+    """
+    if not 1 <= threshold <= n:
+        raise ValueError(f"need 1 <= threshold <= n, got t={threshold}, n={n}")
+    if n >= field.p:
+        raise ValueError("field too small for this many parties")
+    coeffs = [field.reduce(secret)] + [
+        field.random_element(rng) for _ in range(threshold - 1)
+    ]
+    return [
+        ShamirShare(x=i, y=field.poly_eval(coeffs, i)) for i in range(1, n + 1)
+    ]
+
+
+def shamir_reconstruct(
+    shares: Sequence[ShamirShare], threshold: int, field: Field
+) -> int:
+    """Reconstruct from (at least) ``threshold`` distinct Shamir shares."""
+    if len({s.x for s in shares}) < threshold:
+        raise ValueError(
+            f"need {threshold} distinct shares, got {len(set(s.x for s in shares))}"
+        )
+    points = [(s.x, s.y) for s in shares[:]]
+    # Use exactly `threshold` points; extra consistent shares are redundant.
+    seen: Dict[int, int] = {}
+    unique = []
+    for x, y in points:
+        if x not in seen:
+            seen[x] = y
+            unique.append((x, y))
+    return field.lagrange_interpolate_at_zero(unique[:threshold])

@@ -1,0 +1,100 @@
+"""Lamport one-time signatures.
+
+The multi-party protocol ΠOptnSFE (Appendix B) has the ideal phase-1
+functionality sign the output ``y`` once under a freshly generated key pair,
+so a *one-time* signature scheme is exactly what the construction requires.
+Lamport signatures are existentially unforgeable for a single message
+assuming preimage resistance of SHA-256 — no number theory needed.
+
+The message is hashed to 256 bits; each bit selects one of two secret
+preimages whose hashes form the public key.
+"""
+
+from __future__ import annotations
+
+from .immutable import Immutable
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Tuple
+
+from .mac import _encode
+from .prf import Rng
+
+_HASH_BITS = 256
+_CHUNK = 32  # bytes per preimage
+
+
+@dataclass(frozen=True)
+class VerificationKey(Immutable):
+    """Lamport public key: 2x256 hash values, flattened."""
+
+    pairs: tuple  # tuple of 256 (h0, h1) byte pairs
+
+    def __post_init__(self):
+        if len(self.pairs) != _HASH_BITS:
+            raise ValueError("malformed verification key")
+
+
+@dataclass(frozen=True)
+class SigningKey(Immutable):
+    pairs: tuple  # tuple of 256 (x0, x1) byte pairs
+
+
+@dataclass(frozen=True)
+class Signature(Immutable):
+    preimages: tuple  # 256 revealed preimages
+
+
+def _digest(message) -> bytes:
+    return hashlib.sha256(_encode(message)).digest()
+
+
+def _bits(digest: bytes):
+    for byte in digest:
+        for i in range(8):
+            yield (byte >> i) & 1
+
+
+def gen(rng: Rng) -> Tuple[SigningKey, VerificationKey]:
+    """Generate a one-time key pair (paper notation: ``Gen(1^k)``)."""
+    sk_pairs = []
+    vk_pairs = []
+    for _ in range(_HASH_BITS):
+        x0 = rng.randbytes(_CHUNK)
+        x1 = rng.randbytes(_CHUNK)
+        sk_pairs.append((x0, x1))
+        vk_pairs.append(
+            (hashlib.sha256(x0).digest(), hashlib.sha256(x1).digest())
+        )
+    return SigningKey(tuple(sk_pairs)), VerificationKey(tuple(vk_pairs))
+
+
+def sign(message, sk: SigningKey) -> Signature:
+    """Sign ``message`` (paper notation: ``Sign(y, sk)``)."""
+    digest = _digest(message)
+    preimages = tuple(
+        sk.pairs[i][bit] for i, bit in enumerate(_bits(digest))
+    )
+    return Signature(preimages)
+
+
+def ver(message, signature, vk: VerificationKey) -> bool:
+    """Verify a signature (paper notation: ``Ver``)."""
+    if not isinstance(signature, Signature):
+        return False
+    if len(signature.preimages) != _HASH_BITS:
+        return False
+    try:
+        digest = _digest(message)
+    except TypeError:
+        return False
+    for i, bit in enumerate(_bits(digest)):
+        preimage = signature.preimages[i]
+        if not isinstance(preimage, bytes):
+            return False
+        expected = vk.pairs[i][bit]
+        if not hmac.compare_digest(hashlib.sha256(preimage).digest(), expected):
+            return False
+    return True

@@ -1,0 +1,110 @@
+"""Verifiable secret sharing (threshold sharing with per-share MACs).
+
+Lemma 17's analysis of Π½GMW relies on the protocol computing a
+d(n/2)e-out-of-n *verifiable* secret sharing of the output which is then
+publicly reconstructed: any coalition of at most b(n-1)/2c parties cannot
+block reconstruction nor learn the secret early, whereas a coalition of
+d(n/2)e parties can do both.
+
+We model verifiability with pairwise MACs: the dealer tags each Shamir share
+under every receiver's verification key, so wrong shares announced during
+public reconstruction are detected and ignored (a (t-1)-adversary cannot
+confuse honest parties into accepting a wrong value).
+"""
+
+from __future__ import annotations
+
+from .immutable import Immutable
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .field import Field, DEFAULT_PRIME
+from .mac import MacKey, gen_mac_key, tag, verify
+from .prf import Rng
+from .secret_sharing import ShamirShare, shamir_reconstruct, shamir_share
+
+
+class VssError(Exception):
+    """Raised when public reconstruction cannot complete honestly."""
+
+
+@dataclass(frozen=True)
+class VssShare(Immutable):
+    """Party pi's VSS share.
+
+    ``tags[j]`` authenticates ``(x, y)`` under party pj's verification key,
+    letting pj check the share when pi broadcasts it.
+    """
+
+    holder: int
+    share: ShamirShare
+    tags: tuple  # tags[j] for each verifier index j in [0, n)
+
+
+@dataclass(frozen=True)
+class VssVerifierKey(Immutable):
+    """Party pj's key for checking broadcast shares."""
+
+    index: int
+    key: MacKey
+
+
+def deal(
+    secret: int,
+    threshold: int,
+    n: int,
+    rng: Rng,
+    field: Field = None,
+) -> Tuple[List[VssShare], List[VssVerifierKey]]:
+    """Deal a verifiable ``threshold``-out-of-``n`` sharing of ``secret``."""
+    field = field or Field(DEFAULT_PRIME)
+    shares = shamir_share(secret, threshold, n, field, rng)
+    keys = [
+        VssVerifierKey(j, gen_mac_key(rng.fork(f"vss-key-{j}")))
+        for j in range(n)
+    ]
+    vss_shares = []
+    for i, sh in enumerate(shares):
+        tags = tuple(tag((sh.x, sh.y), keys[j].key) for j in range(n))
+        vss_shares.append(VssShare(holder=i, share=sh, tags=tags))
+    return vss_shares, keys
+
+
+def check_broadcast_share(
+    announced: VssShare, verifier: VssVerifierKey
+) -> bool:
+    """Can verifier pj accept pi's announced share?"""
+    if not isinstance(announced, VssShare):
+        return False
+    if verifier.index >= len(announced.tags):
+        return False
+    return verify(
+        (announced.share.x, announced.share.y),
+        announced.tags[verifier.index],
+        verifier.key,
+    )
+
+
+def public_reconstruct(
+    announced: Sequence[VssShare],
+    verifier: VssVerifierKey,
+    threshold: int,
+    field: Field = None,
+) -> int:
+    """Reconstruct from broadcast shares, discarding invalid ones.
+
+    Raises :class:`VssError` when fewer than ``threshold`` valid shares
+    remain — exactly the situation a blocking coalition of size >= n-t+1
+    creates in Π½GMW.
+    """
+    field = field or Field(DEFAULT_PRIME)
+    valid: Dict[int, ShamirShare] = {}
+    for ann in announced:
+        if check_broadcast_share(ann, verifier):
+            valid[ann.share.x] = ann.share
+    if len(valid) < threshold:
+        raise VssError(
+            f"only {len(valid)} valid shares announced, need {threshold}"
+        )
+    return shamir_reconstruct(list(valid.values()), threshold, field)

@@ -1,0 +1,146 @@
+"""The adversary interface of the execution model.
+
+The adversary is *rushing* and may corrupt parties *adaptively*: in every
+round it first observes all honest messages addressed to corrupted parties
+(and all broadcasts), then decides the corrupted parties' own messages for
+the same round, may corrupt further parties (receiving their full view and
+live machine), abort, or keep playing.
+
+Concrete strategies live in :mod:`repro.adversaries`; this module defines
+the engine-facing contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from .messages import Inbox, Message
+from .party import HonestRunner, PartyView
+
+
+@dataclass
+class CorruptedParty:
+    """What the adversary receives upon corrupting a party."""
+
+    index: int
+    view: PartyView
+    runner: HonestRunner
+
+
+class RoundInterface:
+    """Everything the adversary may observe and do in one round."""
+
+    def __init__(self, execution, round_no: int):
+        self._execution = execution
+        self.round = round_no
+        self.outgoing: List[Message] = []
+        self.func_inputs: Dict[str, Dict[int, object]] = {}
+
+    # -- observation --------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._execution.n
+
+    @property
+    def corrupted(self) -> Set[int]:
+        return set(self._execution.corrupted)
+
+    @property
+    def honest(self) -> Set[int]:
+        return set(range(self.n)) - self.corrupted
+
+    def inbox(self, index: int) -> Inbox:
+        """Messages delivered to corrupted party ``index`` this round."""
+        if index not in self._execution.corrupted:
+            raise PermissionError("can only read corrupted parties' inboxes")
+        return self._execution.current_inboxes[index]
+
+    def rushing_messages(self) -> List[Message]:
+        """Honest round-``round`` messages to corrupted parties + broadcasts.
+
+        These are observed *before* the adversary commits the corrupted
+        parties' round-``round`` messages — the rushing advantage.
+        """
+        out = []
+        for m in self._execution.pending_honest_messages:
+            if m.broadcast or m.receiver in self._execution.corrupted:
+                out.append(m)
+        return out
+
+    # -- control ------------------------------------------------------------
+    def corrupt(self, index: int) -> CorruptedParty:
+        """Adaptively corrupt party ``index``; returns its view and machine."""
+        return self._execution.corrupt_party(index)
+
+    def send(self, sender: int, to: int, payload) -> None:
+        """Send a message from corrupted party ``sender``."""
+        self._require_corrupted(sender)
+        if not 0 <= to < self.n:
+            raise ValueError(f"no such party: {to}")
+        self.outgoing.append(Message(sender, to, payload, self.round))
+
+    def broadcast(self, sender: int, payload) -> None:
+        self._require_corrupted(sender)
+        self.outgoing.append(
+            Message(sender, None, payload, self.round, broadcast=True)
+        )
+
+    def call_functionality(self, sender: int, name: str, payload) -> None:
+        """Submit corrupted party ``sender``'s input to a hybrid call."""
+        self._require_corrupted(sender)
+        self.func_inputs.setdefault(name, {})[sender] = payload
+
+    def claim_output(self, value) -> None:
+        """Record that the adversary extracted (what it believes is) the
+        corrupted parties' protocol output.
+
+        The engine verifies claims against the true function value when
+        classifying fairness events — a wrong claim never counts as
+        "the adversary learned the output".
+        """
+        self._execution.adversary_claim = value
+
+    def _require_corrupted(self, index: int) -> None:
+        if index not in self._execution.corrupted:
+            raise PermissionError(
+                f"party {index} is not corrupted; corrupt it first"
+            )
+
+
+class Adversary:
+    """Base adversary: does nothing (no corruptions, honest execution).
+
+    Subclasses override the hooks they need.  ``claimed`` may be set via
+    ``RoundInterface.claim_output``.
+    """
+
+    #: human-readable strategy name used in reports
+    name = "null"
+
+    def initial_corruptions(self, n: int) -> Set[int]:
+        """Statically corrupted parties (before inputs are distributed)."""
+        return set()
+
+    def on_corrupt(self, party: CorruptedParty) -> None:
+        """Called whenever a corruption completes (static or adaptive)."""
+
+    def on_round(self, iface: RoundInterface) -> None:
+        """Play one round.  Default: corrupted parties stay silent."""
+
+    def on_functionality_query(self, fname: str, query: str, data):
+        """Answer a functionality's question.
+
+        The default plays "honestly": deliver outputs, never abort.
+        """
+        if query == "request-outputs?":
+            return True
+        if query == "abort?":
+            return False
+        return None
+
+    def on_functionality_notify(self, fname: str, event: str, data) -> None:
+        """Observe leaked information from a functionality."""
+
+    def finish(self, iface: Optional[RoundInterface] = None) -> None:
+        """Called once after the last round (bookkeeping hook)."""

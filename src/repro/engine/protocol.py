@@ -1,0 +1,51 @@
+"""The protocol interface consumed by the execution engine."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List
+
+from ..crypto.prf import Rng
+from ..functionalities.base import Functionality
+from .party import PartyMachine
+
+
+class Protocol(ABC):
+    """A protocol: machines for each party plus the hybrids it uses.
+
+    Concrete protocols also carry the :class:`repro.functions.FunctionSpec`
+    they evaluate (attribute ``func``), which the analysis layer uses to
+    verify adversary output claims and honest-party correctness.
+    """
+
+    #: human-readable protocol name used in reports
+    name: str = "protocol"
+
+    #: number of parties
+    n_parties: int = 2
+
+    #: upper bound on rounds; honest machines must output by this round
+    #: even if every other party is silent
+    max_rounds: int = 16
+
+    @abstractmethod
+    def build_machines(self, rng: Rng) -> List[PartyMachine]:
+        """Fresh per-execution machines, in party-index order."""
+
+    def build_functionalities(self, rng: Rng) -> Dict[str, Functionality]:
+        """Fresh per-execution hybrid functionality instances."""
+        return {}
+
+    def classify_result(self, result):
+        """Optional protocol-specific fairness-event classification.
+
+        Return ``None`` to use the generic classifier
+        (:func:`repro.core.events.classify`).  Protocols whose ideal target
+        is weaker than Fsfe⊥ (the Gordon–Katz protocols target Fsfe$)
+        override this with the white-box mapping their simulator induces.
+        """
+        return None
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        return self.name

@@ -1,0 +1,52 @@
+"""Ideal functionalities (hybrids) used by the protocols."""
+
+from .base import AdversaryHandle, Functionality, FunctionalityRegistry
+from .sfe import FairSfe, SfeWithAbort
+from .priv_sfe import (
+    PrivOutput,
+    PrivSfeWithAbort,
+    ShareGenOutput,
+    TwoPartyShareGen,
+    decode_output,
+)
+from .sfe_random_abort import (
+    SfeRandomAbort,
+    uniform_counterparty_distribution,
+)
+from .share_gen import (
+    GkPartyPayload,
+    GkShareGen,
+    SealedValue,
+    geometric_rounds,
+    open_sealed,
+    poly_domain_sharegen,
+    poly_range_sharegen,
+)
+from .ot import ObliviousTransfer, OtChoose, OtSend
+from .coin_toss import CoinToss
+
+__all__ = [
+    "AdversaryHandle",
+    "Functionality",
+    "FunctionalityRegistry",
+    "FairSfe",
+    "SfeWithAbort",
+    "PrivOutput",
+    "PrivSfeWithAbort",
+    "ShareGenOutput",
+    "TwoPartyShareGen",
+    "decode_output",
+    "SfeRandomAbort",
+    "uniform_counterparty_distribution",
+    "GkPartyPayload",
+    "GkShareGen",
+    "SealedValue",
+    "geometric_rounds",
+    "open_sealed",
+    "poly_domain_sharegen",
+    "poly_range_sharegen",
+    "ObliviousTransfer",
+    "OtChoose",
+    "OtSend",
+    "CoinToss",
+]

@@ -1,0 +1,85 @@
+"""Base types for ideal functionalities (hybrid calls).
+
+A functionality is invoked once all parties that are supposed to call it in
+a given round have submitted their inputs (honest parties through
+``ctx.call``; corrupted parties through the adversary).  The functionality
+may interact with the adversary through the :class:`AdversaryHandle` —
+asking, e.g., whether to deliver outputs or abort — which is exactly the
+attack surface the paper's relaxed functionalities (Fsfe⊥, Fsfe$, …) expose
+to the simulator/ideal-world adversary.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Set
+
+from ..crypto.prf import Rng
+
+
+class AdversaryHandle:
+    """The functionality's channel to the adversary during one invocation."""
+
+    def __init__(self, adversary, fname: str, corrupted: Set[int]):
+        self._adversary = adversary
+        self._fname = fname
+        self.corrupted = set(corrupted)
+
+    def query(self, query: str, data=None):
+        """Ask the adversary a question defined by the functionality spec."""
+        return self._adversary.on_functionality_query(
+            self._fname, query, data
+        )
+
+    def notify(self, event: str, data=None) -> None:
+        """Leak information to the adversary (no response expected)."""
+        self._adversary.on_functionality_notify(self._fname, event, data)
+
+
+class Functionality(ABC):
+    """An ideal functionality usable as a hybrid by protocols."""
+
+    #: Name under which parties address this functionality via ``ctx.call``.
+    name: str = "F"
+
+    @abstractmethod
+    def invoke(
+        self,
+        inputs: Dict[int, object],
+        adversary: AdversaryHandle,
+        rng: Rng,
+        n: int,
+    ) -> Dict[int, object]:
+        """Run one invocation.
+
+        ``inputs`` maps party index to submitted input (missing indices did
+        not call this round).  Returns a map from party index to response
+        payload; parties not present in the result receive nothing.  Use
+        :data:`repro.engine.messages.ABORT` as the response value to give a
+        party ⊥.
+        """
+
+
+class FunctionalityRegistry:
+    """Per-execution collection of functionality instances."""
+
+    def __init__(self, functionalities: Optional[Dict[str, Functionality]] = None):
+        self._by_name: Dict[str, Functionality] = {}
+        for name, func in (functionalities or {}).items():
+            self.register(name, func)
+
+    def register(self, name: str, functionality: Functionality) -> None:
+        if name in self._by_name:
+            raise ValueError(f"functionality {name!r} already registered")
+        self._by_name[name] = functionality
+
+    def get(self, name: str) -> Functionality:
+        if name not in self._by_name:
+            raise KeyError(f"no functionality registered under {name!r}")
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self):
+        return list(self._by_name)

@@ -1,0 +1,43 @@
+"""An ideal coin-toss functionality [4].
+
+Provided for tests and examples; protocol Π2 from the introduction tosses
+its coin with *real* commitments (see
+:mod:`repro.protocols.contract_signing`), exactly because Cleve's bound
+makes the ideal coin unimplementable with a dishonest majority — the ideal
+version here is the reference the real one is compared against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..crypto.prf import Rng
+from ..engine.messages import ABORT
+from .base import AdversaryHandle, Functionality
+
+
+class CoinToss(Functionality):
+    """Delivers one uniform bit to every caller; the adversary may abort
+    after seeing the bit (which is what a fair protocol must avoid)."""
+
+    name = "F_ct"
+
+    def invoke(
+        self,
+        inputs: Dict[int, object],
+        adversary: AdversaryHandle,
+        rng: Rng,
+        n: int,
+    ) -> Dict[int, object]:
+        bit = rng.randrange(2)
+        responses: Dict[int, object] = {}
+        if adversary.corrupted:
+            adversary.notify("coin", bit)
+            if adversary.query("abort?"):
+                for i in range(n):
+                    if i not in adversary.corrupted:
+                        responses[i] = ABORT
+                for i in adversary.corrupted:
+                    responses[i] = bit
+                return responses
+        return {i: bit for i in inputs}

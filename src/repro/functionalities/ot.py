@@ -1,0 +1,85 @@
+"""Oblivious-transfer functionality (the OT-hybrid model for GMW).
+
+GMW evaluates AND gates via 1-out-of-4 OT on the gate's share table.  Real
+OT needs public-key machinery; running GMW in the OT-hybrid model is the
+standard substitution (documented in DESIGN.md) and preserves every
+fairness-relevant behaviour: the adversary may still abort the call, learn
+the corrupted side's OT output, and deny the honest side its message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..crypto.prf import Rng
+from ..engine.messages import ABORT
+from .base import AdversaryHandle, Functionality
+
+
+@dataclass(frozen=True)
+class OtSend:
+    """Sender input: the tuple of messages (any length >= 2)."""
+
+    messages: tuple
+
+
+@dataclass(frozen=True)
+class OtChoose:
+    """Receiver input: the index of the message to obtain."""
+
+    choice: int
+
+
+class ObliviousTransfer(Functionality):
+    """1-out-of-k OT between a designated sender and receiver.
+
+    The sender learns nothing about the choice; the receiver learns exactly
+    one message.  A corrupted participant may abort the instance, in which
+    case the honest participant receives ⊥.
+    """
+
+    name = "F_ot"
+
+    def __init__(self, sender: int, receiver: int):
+        if sender == receiver:
+            raise ValueError("OT needs two distinct parties")
+        self.sender = sender
+        self.receiver = receiver
+
+    def invoke(
+        self,
+        inputs: Dict[int, object],
+        adversary: AdversaryHandle,
+        rng: Rng,
+        n: int,
+    ) -> Dict[int, object]:
+        send = inputs.get(self.sender)
+        choose = inputs.get(self.receiver)
+        responses: Dict[int, object] = {}
+
+        participants = {self.sender, self.receiver}
+        corrupted_participants = participants & adversary.corrupted
+        if corrupted_participants:
+            if adversary.query("abort?"):
+                for i in participants:
+                    if i not in adversary.corrupted:
+                        responses[i] = ABORT
+                return responses
+
+        if not isinstance(send, OtSend) or not isinstance(choose, OtChoose):
+            # A missing/malformed input is an abort by that participant.
+            for i in participants:
+                responses[i] = ABORT
+            return responses
+        if not 0 <= choose.choice < len(send.messages):
+            responses[self.receiver] = ABORT
+            responses[self.sender] = ABORT
+            return responses
+
+        chosen = send.messages[choose.choice]
+        responses[self.receiver] = chosen
+        responses[self.sender] = "ot-done"
+        if self.receiver in adversary.corrupted:
+            adversary.notify("ot-output", {self.receiver: chosen})
+        return responses

@@ -1,0 +1,115 @@
+"""Secure function evaluation functionalities: Fsfe and Fsfe⊥ (§3 Step 1).
+
+``FairSfe`` is the fully fair trusted party of [Canetti'00]: either the
+computation happens and *everyone* receives the output, or the adversary
+refuses participation up front and nobody does.
+
+``SfeWithAbort`` is the paper's relaxed Fsfe⊥: the adversary (ideal-world
+attack strategy) may *ask* for the corrupted parties' outputs, and may send
+an (abort) message even after having received them — but before the honest
+parties do — in which case every honest party outputs ⊥.  The two
+ask/abort choices are what generate the four fairness events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..crypto.prf import Rng
+from ..engine.messages import ABORT
+from ..functions.library import FunctionSpec
+from .base import AdversaryHandle, Functionality
+
+
+def _effective_inputs(
+    inputs: Dict[int, object], func: FunctionSpec
+) -> tuple:
+    """Fill parties that did not submit with their default inputs."""
+    return tuple(
+        inputs.get(i, func.default_inputs[i])
+        for i in range(func.n_parties)
+    )
+
+
+def refused_participation(
+    inputs: Dict[int, object], adversary: AdversaryHandle, n: int
+) -> bool:
+    """Did a corrupted party withhold its input from the call?
+
+    In the real instantiation (e.g. GMW-with-abort), a party refusing to
+    participate makes the whole phase abort *visibly*; the corresponding
+    secure-with-abort functionality therefore hands every honest party ⊥.
+    (An adversary that merely wants to change an input submits the changed
+    value instead.)
+    """
+    return any(
+        i in adversary.corrupted and i not in inputs for i in range(n)
+    )
+
+
+def abort_everyone(adversary: AdversaryHandle, n: int) -> Dict[int, object]:
+    """⊥ for every honest party (corrupted parties get nothing)."""
+    return {i: ABORT for i in range(n) if i not in adversary.corrupted}
+
+
+class FairSfe(Functionality):
+    """The fully fair Fsfe: all-or-nothing output delivery."""
+
+    name = "F_sfe"
+
+    def __init__(self, func: FunctionSpec):
+        self.func = func
+
+    def invoke(
+        self,
+        inputs: Dict[int, object],
+        adversary: AdversaryHandle,
+        rng: Rng,
+        n: int,
+    ) -> Dict[int, object]:
+        if refused_participation(inputs, adversary, n):
+            return abort_everyone(adversary, n)
+        effective = _effective_inputs(inputs, self.func)
+        outputs = self.func.outputs_for(effective)
+        if adversary.corrupted and adversary.query("abort?"):
+            # Refusal to participate: nobody learns anything.
+            return {i: ABORT for i in range(n)}
+        return {i: outputs[i] for i in range(n)}
+
+
+class SfeWithAbort(Functionality):
+    """Fsfe⊥: SFE with (ask, abort) attack surface (paper §3, Step 1)."""
+
+    name = "F_sfe_abort"
+
+    def __init__(self, func: FunctionSpec):
+        self.func = func
+
+    def invoke(
+        self,
+        inputs: Dict[int, object],
+        adversary: AdversaryHandle,
+        rng: Rng,
+        n: int,
+    ) -> Dict[int, object]:
+        if refused_participation(inputs, adversary, n):
+            return abort_everyone(adversary, n)
+        effective = _effective_inputs(inputs, self.func)
+        outputs = self.func.outputs_for(effective)
+        responses: Dict[int, object] = {}
+        if adversary.corrupted:
+            asked = bool(adversary.query("request-outputs?"))
+            if asked:
+                corrupted_outputs = {
+                    i: outputs[i] for i in sorted(adversary.corrupted)
+                }
+                adversary.notify("corrupted-outputs", corrupted_outputs)
+                responses.update(corrupted_outputs)
+            if adversary.query("abort?"):
+                for i in range(n):
+                    if i not in adversary.corrupted:
+                        responses[i] = ABORT
+                return responses
+        for i in range(n):
+            responses.setdefault(i, outputs[i])
+        return responses

@@ -1,0 +1,98 @@
+"""Fsfe$ — computation with random abort (paper Figure 1, Appendix C.2).
+
+The two-party weakening used to capture the Gordon–Katz protocols: the
+adversary may replace the honest party's (not-yet-delivered) output with a
+value drawn from a distribution that depends only on the honest party's own
+input — for the poly-domain protocols, Y1(x1) := f(x1, X2) with X2 uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..crypto.prf import Rng
+from ..functions.library import FunctionSpec
+from .base import AdversaryHandle, Functionality
+from .sfe import _effective_inputs, abort_everyone, refused_participation
+
+#: A per-party output-replacement distribution: (own input, rng) -> output.
+ReplacementDistribution = Callable[[object, Rng], object]
+
+
+def uniform_counterparty_distribution(
+    func: FunctionSpec, honest_index: int
+) -> ReplacementDistribution:
+    """Y_honest(x_honest) = f evaluated with a uniform counterparty input.
+
+    Requires the counterparty's domain to be enumerable (the poly-domain
+    setting of [18, §3.2]).
+    """
+    other = 1 - honest_index
+    if func.input_domains is None or func.input_domains[other] is None:
+        raise ValueError(
+            f"{func.name}: counterparty domain is not polynomial; "
+            "the randomized-abort distribution is undefined"
+        )
+    domain = func.input_domains[other]
+
+    def sample(own_input, rng: Rng):
+        counter = rng.choice(domain)
+        pair = [None, None]
+        pair[honest_index] = own_input
+        pair[other] = counter
+        return func.outputs_for(tuple(pair))[honest_index]
+
+    return sample
+
+
+class SfeRandomAbort(Functionality):
+    """Fsfe$: two-party SFE where abort randomises the honest output."""
+
+    name = "F_sfe_random"
+
+    def __init__(
+        self,
+        func: FunctionSpec,
+        distributions: Optional[Dict[int, ReplacementDistribution]] = None,
+    ):
+        if func.n_parties != 2:
+            raise ValueError("Fsfe$ is defined for the two-party case")
+        self.func = func
+        if distributions is None:
+            distributions = {}
+            for i in range(2):
+                try:
+                    distributions[i] = uniform_counterparty_distribution(func, i)
+                except ValueError:
+                    pass
+        self.distributions = distributions
+
+    def invoke(
+        self,
+        inputs: Dict[int, object],
+        adversary: AdversaryHandle,
+        rng: Rng,
+        n: int,
+    ) -> Dict[int, object]:
+        if refused_participation(inputs, adversary, n):
+            return abort_everyone(adversary, n)
+        effective = _effective_inputs(inputs, self.func)
+        outputs = list(self.func.outputs_for(effective))
+        responses: Dict[int, object] = {}
+        if adversary.corrupted and len(adversary.corrupted) < 2:
+            corrupted = next(iter(adversary.corrupted))
+            honest = 1 - corrupted
+            if adversary.query("request-outputs?"):
+                adversary.notify(
+                    "corrupted-outputs", {corrupted: outputs[corrupted]}
+                )
+                responses[corrupted] = outputs[corrupted]
+            if adversary.query("abort?"):
+                # Randomised abort: honest output drawn from Y_honest.
+                if honest in self.distributions:
+                    outputs[honest] = self.distributions[honest](
+                        effective[honest], rng.fork("replace")
+                    )
+        for i in range(2):
+            responses.setdefault(i, outputs[i])
+        return responses

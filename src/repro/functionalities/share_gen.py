@@ -1,0 +1,262 @@
+"""The Gordon–Katz ShareGen functionality ([18], §3; paper Appendix C).
+
+ShareGen prepares the r-round reveal schedule of the 1/p-secure protocols:
+a secret switch round i* is drawn from a (truncated) geometric distribution;
+for rounds i < i* the prepared values are *fakes* drawn from a distribution
+the simulator can reproduce (f with a uniformly random counterparty input
+for the poly-domain variant; a uniform range element for the poly-range
+variant), and from round i* on they equal the true output.
+
+Each value is handed out in sealed form: the receiving party holds a pad
+and a MAC key, the sending party holds the padded ciphertext and tag; a
+reveal round transfers the token, and the receiver decrypts and verifies.
+Neither party can locate i* from its ShareGen output alone.
+"""
+
+from __future__ import annotations
+
+from ..crypto.immutable import Immutable
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..crypto.mac import MacKey, gen_mac_key, tag, verify
+from ..crypto.prf import Rng
+from ..engine.messages import ABORT
+from ..functions.library import FunctionSpec
+from .base import AdversaryHandle, Functionality
+from .sfe import abort_everyone, refused_participation
+
+#: Safety factor in the truncation bound: Pr[i* > r] <= e^-TRUNCATION_MARGIN.
+TRUNCATION_MARGIN = 20
+
+_VALUE_BITS = 64
+_VALUE_MASK = (1 << _VALUE_BITS) - 1
+
+
+@dataclass(frozen=True)
+class SealedValue(Immutable):
+    """A padded, MAC-tagged value held by the *sender* of a reveal round."""
+
+    index: int
+    ciphertext: int
+    tag: bytes
+
+
+@dataclass(frozen=True)
+class GkPartyPayload(Immutable):
+    """One party's ShareGen output.
+
+    ``incoming_pads``/``mac_key`` open the counterparty's reveals of *this
+    party's* value stream; ``outgoing_tokens`` are sent one per round;
+    ``fallback`` is the round-0 fake output the party falls back to when
+    the counterparty aborts before the first reveal completes.
+    """
+
+    rounds: int
+    mac_key: MacKey
+    incoming_pads: tuple
+    outgoing_tokens: tuple
+    fallback: int = 0
+
+
+def open_sealed(
+    sealed: SealedValue, pad: int, key: MacKey, stream: str
+) -> int:
+    """Decrypt and authenticate a revealed token; raises ValueError on
+    any inconsistency (the caller treats that as the counterparty aborting).
+    """
+    if not isinstance(sealed, SealedValue):
+        raise ValueError("malformed reveal token")
+    if not verify((stream, sealed.index, sealed.ciphertext), sealed.tag, key):
+        raise ValueError("reveal token failed authentication")
+    return (sealed.ciphertext ^ pad) & _VALUE_MASK
+
+
+def geometric_rounds(alpha: float) -> int:
+    """Rounds needed so the truncated geometric misses i* negligibly."""
+    if not 0 < alpha < 1:
+        raise ValueError("alpha must be in (0, 1)")
+    return int(math.ceil(TRUNCATION_MARGIN / alpha))
+
+
+class GkShareGen(Functionality):
+    """ShareGen with a pluggable fake-value distribution.
+
+    ``fake_samplers[i]`` draws the fake entries of party i's value stream;
+    ``alpha`` is the geometric parameter of i*.
+    """
+
+    name = "F_sharegen_gk"
+
+    def __init__(
+        self,
+        func: FunctionSpec,
+        alpha: float,
+        rounds: int,
+        fake_samplers: Dict[int, Callable[[tuple, Rng], int]],
+    ):
+        if func.n_parties != 2:
+            raise ValueError("GkShareGen is a two-party functionality")
+        if rounds < 1:
+            raise ValueError("need at least one reveal round")
+        self.func = func
+        self.alpha = alpha
+        self.rounds = rounds
+        self.fake_samplers = fake_samplers
+        self.i_star: int = None  # recorded for white-box tests
+
+    def _draw_i_star(self, rng: Rng) -> int:
+        """1-based switch round, geometric(alpha) truncated to [1, rounds]."""
+        i = 1
+        while i < self.rounds:
+            if rng.random() < self.alpha:
+                break
+            i += 1
+        return i
+
+    def invoke(
+        self,
+        inputs: Dict[int, object],
+        adversary: AdversaryHandle,
+        rng: Rng,
+        n: int,
+    ) -> Dict[int, object]:
+        if refused_participation(inputs, adversary, n):
+            return abort_everyone(adversary, n)
+        effective = tuple(
+            inputs.get(i, self.func.default_inputs[i]) for i in range(2)
+        )
+        outputs = self.func.outputs_for(effective)
+        self.i_star = self._draw_i_star(rng.fork("i_star"))
+
+        streams: Dict[int, List[int]] = {}
+        for party in range(2):
+            sampler = self.fake_samplers[party]
+            values = []
+            for i in range(1, self.rounds + 1):
+                if i < self.i_star:
+                    values.append(
+                        sampler(effective, rng.fork(f"fake-{party}-{i}"))
+                        & _VALUE_MASK
+                    )
+                else:
+                    values.append(outputs[party] & _VALUE_MASK)
+            streams[party] = values
+
+        keys = {i: gen_mac_key(rng.fork(f"gk-key-{i}")) for i in range(2)}
+        pads = {
+            i: [
+                rng.fork(f"pad-{i}-{j}").getrandbits(_VALUE_BITS)
+                for j in range(self.rounds)
+            ]
+            for i in range(2)
+        }
+        stream_names = {0: "a", 1: "b"}
+        tokens: Dict[int, List[SealedValue]] = {0: [], 1: []}
+        for receiver in range(2):
+            sender = 1 - receiver
+            name = stream_names[receiver]
+            for j, value in enumerate(streams[receiver]):
+                ciphertext = value ^ pads[receiver][j]
+                tokens[sender].append(
+                    SealedValue(
+                        index=j,
+                        ciphertext=ciphertext,
+                        tag=tag((name, j, ciphertext), keys[receiver]),
+                    )
+                )
+
+        payloads = {
+            i: GkPartyPayload(
+                rounds=self.rounds,
+                mac_key=keys[i],
+                incoming_pads=tuple(pads[i]),
+                outgoing_tokens=tuple(tokens[i]),
+                fallback=self.fake_samplers[i](
+                    effective, rng.fork(f"fallback-{i}")
+                )
+                & _VALUE_MASK,
+            )
+            for i in range(2)
+        }
+
+        responses: Dict[int, object] = {}
+        if adversary.corrupted and len(adversary.corrupted) < 2:
+            if adversary.query("request-outputs?"):
+                corrupted_payloads = {
+                    i: payloads[i] for i in sorted(adversary.corrupted)
+                }
+                adversary.notify("corrupted-outputs", corrupted_payloads)
+                responses.update(corrupted_payloads)
+            if adversary.query("abort?"):
+                for i in range(2):
+                    if i not in adversary.corrupted:
+                        responses[i] = ABORT
+                return responses
+        for i in range(2):
+            responses.setdefault(i, payloads[i])
+        return responses
+
+
+def poly_domain_sharegen(
+    func: FunctionSpec, p: int, counterparty_of: Dict[int, int] = None
+) -> GkShareGen:
+    """ShareGen for the poly-domain protocol ([18, §3.2]; Theorem 23).
+
+    Fakes for party i's stream are f evaluated with a uniformly random
+    counterparty input.  alpha = 1/(p·|Y|) defeats the "known-output"
+    stopping rule (an adversary told y by the environment stops at the
+    first occurrence of y; fakes hit y with probability >= 1/|Y|, so its
+    success probability is alpha/(alpha + 1/|Y|) <= 1/p), and the round
+    count is O(p·|Y|) as the theorem states.
+    """
+    domain_sizes = []
+    for i in range(2):
+        other = 1 - i
+        if func.input_domains is None or func.input_domains[other] is None:
+            raise ValueError(
+                f"{func.name}: poly-domain protocol needs an enumerable "
+                "counterparty domain"
+            )
+        domain_sizes.append(len(func.input_domains[other]))
+    y_size = max(domain_sizes)
+    alpha = 1.0 / (p * y_size)
+    rounds = geometric_rounds(alpha)
+
+    def make_sampler(party: int):
+        other = 1 - party
+
+        def sampler(effective_inputs: tuple, rng: Rng) -> int:
+            fake = list(effective_inputs)
+            fake[other] = rng.choice(func.input_domains[other])
+            return func.outputs_for(tuple(fake))[party]
+
+        return sampler
+
+    return GkShareGen(
+        func,
+        alpha,
+        rounds,
+        {0: make_sampler(0), 1: make_sampler(1)},
+    )
+
+
+def poly_range_sharegen(func: FunctionSpec, p: int) -> GkShareGen:
+    """ShareGen for the poly-range protocol ([18, §3.3]; Theorem 24).
+
+    Fakes are uniform range elements; alpha = 1/(p²·|Z|) (the extra p
+    factor guards the output-biasing abort strategies the range setting
+    admits), giving the theorem's O(p²·|Z|) round count.
+    """
+    if func.output_domain is None:
+        raise ValueError(f"{func.name}: poly-range protocol needs a range")
+    z_size = len(func.output_domain)
+    alpha = 1.0 / (p * p * z_size)
+    rounds = geometric_rounds(alpha)
+
+    def sampler(effective_inputs: tuple, rng: Rng) -> int:
+        return rng.choice(func.output_domain)
+
+    return GkShareGen(func, alpha, rounds, {0: sampler, 1: sampler})

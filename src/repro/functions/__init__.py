@@ -1,0 +1,51 @@
+"""Function specifications evaluated by the protocols."""
+
+from .library import (
+    FunctionSpec,
+    make_and,
+    make_concat,
+    make_contract_exchange,
+    make_global,
+    make_millionaires,
+    make_swap,
+    make_xor,
+)
+from .extras import (
+    make_max,
+    make_rotate,
+    make_set_intersection,
+    make_set_membership,
+    make_vote,
+)
+from .private_outputs import (
+    augment_input,
+    blind_private_outputs,
+    make_public_version,
+    pack_blinded,
+    recover_private_output,
+    unblind_component,
+    unpack_blinded,
+)
+
+__all__ = [
+    "FunctionSpec",
+    "make_and",
+    "make_concat",
+    "make_contract_exchange",
+    "make_global",
+    "make_millionaires",
+    "make_swap",
+    "make_xor",
+    "make_max",
+    "make_rotate",
+    "make_set_intersection",
+    "make_set_membership",
+    "make_vote",
+    "augment_input",
+    "blind_private_outputs",
+    "make_public_version",
+    "pack_blinded",
+    "recover_private_output",
+    "unblind_component",
+    "unpack_blinded",
+]

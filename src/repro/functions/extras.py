@@ -1,0 +1,154 @@
+"""Additional function specs: the primitives the paper points at.
+
+§4.1 singles out set intersection [12] and selection-style primitives as
+targets for fairness-optimal solutions beyond the generic bound; these
+specs make them available to every protocol in the zoo (the poly-domain
+variants also qualify for the Gordon–Katz constructions).
+"""
+
+from __future__ import annotations
+
+from .library import FunctionSpec
+from ..crypto.prf import Rng
+
+
+def make_set_intersection(universe: int = 4) -> FunctionSpec:
+    """Private set intersection over a ``universe``-element ground set.
+
+    Inputs are characteristic bitmasks; the global output is the
+    intersection mask.  Poly domain and range for small universes.
+    """
+    if not 1 <= universe <= 16:
+        raise ValueError("universe must have 1..16 elements")
+    size = 1 << universe
+
+    def evaluate(inputs):
+        a, b = inputs
+        y = a & b
+        return (y, y)
+
+    def sample(rng: Rng):
+        return (rng.randrange(size), rng.randrange(size))
+
+    domain = tuple(range(size)) if universe <= 10 else None
+    return FunctionSpec(
+        name=f"set-intersection{universe}",
+        n_parties=2,
+        evaluate=evaluate,
+        default_inputs=(0, 0),
+        sample_inputs=sample,
+        input_domains=(domain, domain),
+        output_domain=domain,
+        output_bits=universe,
+    )
+
+
+def make_set_membership(universe: int = 8) -> FunctionSpec:
+    """[x1 ∈ X2]: p1 holds an element, p2 a set (bitmask)."""
+    if not 1 <= universe <= 16:
+        raise ValueError("universe must have 1..16 elements")
+    set_size = 1 << universe
+
+    def evaluate(inputs):
+        element, mask = inputs
+        y = (mask >> element) & 1
+        return (y, y)
+
+    def sample(rng: Rng):
+        return (rng.randrange(universe), rng.randrange(set_size))
+
+    return FunctionSpec(
+        name=f"set-membership{universe}",
+        n_parties=2,
+        evaluate=evaluate,
+        default_inputs=(0, 0),
+        sample_inputs=sample,
+        input_domains=(
+            tuple(range(universe)),
+            tuple(range(set_size)) if universe <= 10 else None,
+        ),
+        output_domain=(0, 1),
+        output_bits=1,
+    )
+
+
+def make_vote(n: int) -> FunctionSpec:
+    """n-party majority vote on bits (ties resolve to 0)."""
+    if n < 2:
+        raise ValueError("need at least two voters")
+
+    def evaluate(inputs):
+        y = 1 if sum(inputs) * 2 > n else 0
+        return tuple(y for _ in range(n))
+
+    def sample(rng: Rng):
+        return tuple(rng.randrange(2) for _ in range(n))
+
+    return FunctionSpec(
+        name=f"vote{n}",
+        n_parties=n,
+        evaluate=evaluate,
+        default_inputs=tuple(0 for _ in range(n)),
+        sample_inputs=sample,
+        input_domains=tuple((0, 1) for _ in range(n)),
+        output_domain=(0, 1),
+        output_bits=1,
+    )
+
+
+def make_max(n: int, bits: int = 8) -> FunctionSpec:
+    """n-party maximum (first-price auction core): global output is
+    (winner index, winning value)."""
+    if n < 2:
+        raise ValueError("need at least two parties")
+    size = 1 << bits
+
+    def evaluate(inputs):
+        winner = max(range(n), key=lambda i: (inputs[i], -i))
+        y = (winner, inputs[winner])
+        return tuple(y for _ in range(n))
+
+    def sample(rng: Rng):
+        return tuple(rng.randrange(size) for _ in range(n))
+
+    return FunctionSpec(
+        name=f"max{n}x{bits}",
+        n_parties=n,
+        evaluate=evaluate,
+        default_inputs=tuple(0 for _ in range(n)),
+        sample_inputs=sample,
+        input_domains=None if bits > 10 else tuple(
+            tuple(range(size)) for _ in range(n)
+        ),
+        output_domain=None,
+        output_bits=bits + 8,
+    )
+
+
+def make_rotate(n: int, bits: int = 8) -> FunctionSpec:
+    """Private-output rotation: party pi receives p(i+1 mod n)'s input.
+
+    The multi-party analogue of fswp; the canonical example for the
+    Appendix-B private-output transform, since each yi is genuinely
+    private to pi.
+    """
+    if n < 2:
+        raise ValueError("need at least two parties")
+    size = 1 << bits
+
+    def evaluate(inputs):
+        return tuple(inputs[(i + 1) % n] for i in range(n))
+
+    def sample(rng: Rng):
+        return tuple(rng.randrange(size) for _ in range(n))
+
+    return FunctionSpec(
+        name=f"rotate{n}x{bits}",
+        n_parties=n,
+        evaluate=evaluate,
+        default_inputs=tuple(0 for _ in range(n)),
+        sample_inputs=sample,
+        input_domains=None,
+        output_domain=None,
+        output_bits=bits,
+    )

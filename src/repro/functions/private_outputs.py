@@ -1,0 +1,111 @@
+"""The private-output → public-output transform (paper, Appendix B).
+
+"Instead of computing f with private outputs, the parties can compute the
+public output function f'((x1,k1), ..., (xn,kn)) = (y, ..., y) where
+y = (y1 ⊕ k1, ..., yn ⊕ kn)": every party pi contributes, besides its
+f-input, a fresh one-time-pad key ki; the public output carries each
+component perfectly blinded with its owner's key, so pi recovers yi and
+learns nothing about yj for j ≠ i.
+
+:func:`blind_private_outputs` performs the f' computation given the
+augmented inputs; :func:`make_public_version` lifts a private-output
+:class:`FunctionSpec` into the public-output spec the optimally fair
+protocols consume; :func:`unblind_component` is the receiver-side step.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..crypto.otp import blind, gen_pad, unblind
+from ..crypto.prf import Rng
+from .library import FunctionSpec
+
+
+def augment_input(x, width_bits: int, rng: Rng) -> Tuple[object, int]:
+    """Party-side input preparation: attach a fresh OTP key."""
+    return (x, gen_pad(width_bits, rng))
+
+
+def blind_private_outputs(
+    func: FunctionSpec, augmented_inputs: tuple, width_bits: int
+) -> tuple:
+    """Compute f' on ((x1,k1), ..., (xn,kn)): the blinded output vector."""
+    if len(augmented_inputs) != func.n_parties:
+        raise ValueError("one augmented input per party required")
+    xs = []
+    keys = []
+    for pair in augmented_inputs:
+        if not (isinstance(pair, tuple) and len(pair) == 2):
+            raise ValueError("augmented inputs are (x, key) pairs")
+        xs.append(pair[0])
+        keys.append(pair[1])
+    outputs = func.outputs_for(tuple(xs))
+    return tuple(
+        blind(y, k, width_bits) for y, k in zip(outputs, keys)
+    )
+
+
+def unblind_component(
+    blinded_vector: tuple, index: int, key: int, width_bits: int
+):
+    """Party pi's output recovery: decrypt component i with ki."""
+    return unblind(blinded_vector[index], key, width_bits)
+
+
+def pack_blinded(vector: tuple, width_bits: int) -> int:
+    """Pack the blinded vector into one integer (protocol wire format)."""
+    packed = 0
+    for component in reversed(vector):
+        packed = (packed << width_bits) | component
+    return packed
+
+
+def unpack_blinded(packed: int, n: int, width_bits: int) -> tuple:
+    """Inverse of :func:`pack_blinded`."""
+    mask = (1 << width_bits) - 1
+    return tuple((packed >> (i * width_bits)) & mask for i in range(n))
+
+
+def make_public_version(func: FunctionSpec) -> FunctionSpec:
+    """Lift a (possibly private-output) spec to the f' public-output spec.
+
+    The lifted spec's inputs are (x, key) pairs; its global output is the
+    blinded vector *packed into one integer* (identical for every party) —
+    exactly the shape the global-output protocols (ΠOpt2SFE phase-1
+    sharing, ΠOptnSFE signing) require.  Per-party output components must
+    be integers below 2**func.output_bits.
+    """
+    width = func.output_bits
+    n = func.n_parties
+
+    def evaluate(augmented_inputs: tuple) -> tuple:
+        vector = blind_private_outputs(func, augmented_inputs, width)
+        packed = pack_blinded(vector, width)
+        return tuple(packed for _ in range(n))
+
+    def sample(rng: Rng) -> tuple:
+        xs = func.sample_inputs(rng.fork("base"))
+        return tuple(
+            augment_input(x, width, rng.fork(f"key-{i}"))
+            for i, x in enumerate(xs)
+        )
+
+    return FunctionSpec(
+        name=f"public[{func.name}]",
+        n_parties=n,
+        evaluate=evaluate,
+        default_inputs=tuple((func.default_inputs[i], 0) for i in range(n)),
+        sample_inputs=sample,
+        input_domains=None,  # keys make the domain super-polynomial
+        output_domain=None,
+        output_bits=width * n,
+    )
+
+
+def recover_private_output(
+    packed: int, index: int, key: int, func: FunctionSpec
+):
+    """Decode pi's private output from a lifted-protocol result."""
+    vector = unpack_blinded(packed, func.n_parties, func.output_bits)
+    return unblind_component(vector, index, key, func.output_bits)

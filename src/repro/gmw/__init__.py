@@ -1,0 +1,21 @@
+"""GMW secure function evaluation: the unfair substrate and the
+honest-majority threshold variant."""
+
+from .protocol import GmwMachine, GmwProtocol, gmw_from_spec, ot_instance_name
+from .threshold import (
+    ThresholdGmwMachine,
+    ThresholdGmwProtocol,
+    VssOutputDealer,
+    reconstruction_threshold,
+)
+
+__all__ = [
+    "GmwMachine",
+    "GmwProtocol",
+    "gmw_from_spec",
+    "ot_instance_name",
+    "ThresholdGmwMachine",
+    "ThresholdGmwProtocol",
+    "VssOutputDealer",
+    "reconstruction_threshold",
+]

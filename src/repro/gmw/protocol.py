@@ -1,0 +1,278 @@
+"""The GMW protocol [16]: n-party SFE with abort in the OT-hybrid model.
+
+Wire values are XOR-shared among all n parties.  XOR and NOT gates are
+local; each AND gate layer costs one round of pairwise 1-out-of-2 OTs (for
+ordered pair (i, j), sender i offers (r, r ⊕ xi) and receiver j chooses
+with yj, producing additive shares of xi·yj).  The final round publicly
+reconstructs the output wires by broadcasting shares — which is exactly
+where GMW is *unfair*: a rushing adversary reads the honest shares, learns
+the output, and can withhold its own, leaving the honest parties with ⊥.
+
+This substrate realises Fsfe⊥ and is what the paper's phase-1 hybrid
+functionalities abstract (RPD composition theorem); the library uses it
+directly on small circuits and via the ideal hybrids for large sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..circuits.circuit import Circuit, Gate, GateKind
+from ..circuits.compiler import bits_of, compile_truth_table, int_of
+from ..crypto.prf import Rng
+from ..crypto.secret_sharing import xor_share
+from ..engine.messages import ABORT, Inbox
+from ..engine.party import OUTPUT_DEFAULT, PartyContext, PartyMachine
+from ..engine.protocol import Protocol
+from ..functionalities.base import Functionality
+from ..functionalities.ot import ObliviousTransfer, OtChoose, OtSend
+from ..functions.library import FunctionSpec
+
+
+def ot_instance_name(gate_wire: int, sender: int, receiver: int) -> str:
+    return f"ot:g{gate_wire}:{sender}to{receiver}"
+
+
+class GmwMachine(PartyMachine):
+    """One party's GMW state machine.
+
+    Round plan: 0 = input sharing out; 1 = input shares in + first AND
+    layer's OT calls; 2..L = OT results in + next layer out; L+1 = output
+    share broadcast; L+2 = reconstruction and output.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        n: int,
+        circuit: Circuit,
+        widths: List[int],
+        func: FunctionSpec,
+    ):
+        super().__init__(index, n)
+        self.circuit = circuit
+        self.widths = widths
+        self.func = func
+        self.layers = circuit.and_layers()
+        self.wire_shares: Dict[int, int] = {}
+        self._pending_layer: Optional[int] = None
+        self._pending_gates: List[Gate] = []
+        self._sender_masks: Dict[str, int] = {}
+        self._stage = "share-inputs"
+
+    # -- helpers -------------------------------------------------------------
+    def _my_input_bits(self) -> List[int]:
+        return bits_of(self.input, self.widths[self.index])
+
+    def _abort(self, ctx: PartyContext) -> None:
+        ctx.output_abort()
+        self._stage = "done"
+
+    def _eval_local_gates(self) -> None:
+        """Evaluate every gate whose share is now derivable locally."""
+        for gate in self.circuit.gates:
+            if gate.wire in self.wire_shares:
+                continue
+            if gate.kind == GateKind.CONST:
+                self.wire_shares[gate.wire] = (
+                    gate.value if self.index == 0 else 0
+                )
+            elif gate.kind == GateKind.XOR:
+                if all(a in self.wire_shares for a in gate.args):
+                    self.wire_shares[gate.wire] = (
+                        self.wire_shares[gate.args[0]]
+                        ^ self.wire_shares[gate.args[1]]
+                    )
+            elif gate.kind == GateKind.NOT:
+                if gate.args[0] in self.wire_shares:
+                    share = self.wire_shares[gate.args[0]]
+                    self.wire_shares[gate.wire] = (
+                        share ^ 1 if self.index == 0 else share
+                    )
+
+    def _issue_layer(self, layer_index: int, ctx: PartyContext) -> None:
+        """Start OTs for AND layer ``layer_index``."""
+        self._pending_layer = layer_index
+        self._pending_gates = self.layers[layer_index]
+        for gate in self._pending_gates:
+            x = self.wire_shares[gate.args[0]]
+            y = self.wire_shares[gate.args[1]]
+            for j in range(self.n):
+                if j == self.index:
+                    continue
+                # I am the sender holding x for pair (me -> j).
+                name_out = ot_instance_name(gate.wire, self.index, j)
+                mask = ctx.rng.randrange(2)
+                self._sender_masks[name_out] = mask
+                ctx.call(name_out, OtSend((mask, mask ^ x)))
+                # I am the receiver choosing with y for pair (j -> me).
+                name_in = ot_instance_name(gate.wire, j, self.index)
+                ctx.call(name_in, OtChoose(y))
+
+    def _complete_layer(self, inbox: Inbox, ctx: PartyContext) -> bool:
+        """Fold OT results into the pending layer; False on abort."""
+        for gate in self._pending_gates:
+            x = self.wire_shares[gate.args[0]]
+            y = self.wire_shares[gate.args[1]]
+            z = x & y
+            for j in range(self.n):
+                if j == self.index:
+                    continue
+                name_out = ot_instance_name(gate.wire, self.index, j)
+                name_in = ot_instance_name(gate.wire, j, self.index)
+                ack = inbox.from_functionality(name_out)
+                received = inbox.from_functionality(name_in)
+                if ack is ABORT or received is ABORT or received is None:
+                    return False
+                if not isinstance(received, int):
+                    return False
+                z ^= self._sender_masks[name_out]
+                z ^= received & 1
+            self.wire_shares[gate.wire] = z
+        self._pending_gates = []
+        return True
+
+    def _broadcast_outputs(self, ctx: PartyContext) -> None:
+        shares = [self.wire_shares[w] for w in self.circuit.outputs]
+        ctx.broadcast(("gmw-output-shares", tuple(shares)))
+        self._stage = "reconstruct"
+
+    # -- round handler ---------------------------------------------------------
+    def on_round(self, round_no: int, inbox: Inbox, ctx: PartyContext) -> None:
+        if self._stage == "done":
+            return
+
+        if self._stage == "share-inputs":
+            my_gates = self.circuit.input_gates(self.index)
+            bits = self._my_input_bits()
+            per_party: Dict[int, Dict[int, int]] = {
+                j: {} for j in range(self.n)
+            }
+            for gate in my_gates:
+                shares = xor_share(bits[gate.input_index], self.n, ctx.rng)
+                for j in range(self.n):
+                    per_party[j][gate.wire] = shares[j]
+            self.wire_shares.update(per_party[self.index])
+            for j in range(self.n):
+                if j != self.index:
+                    ctx.send(j, ("gmw-input-shares", per_party[j]))
+            self._stage = "collect-inputs"
+            return
+
+        if self._stage == "collect-inputs":
+            for j in range(self.n):
+                if j == self.index:
+                    continue
+                payload = inbox.one_from_party(j)
+                if (
+                    not isinstance(payload, tuple)
+                    or len(payload) != 2
+                    or payload[0] != "gmw-input-shares"
+                    or not isinstance(payload[1], dict)
+                ):
+                    self._abort(ctx)
+                    return
+                expected = {g.wire for g in self.circuit.input_gates(j)}
+                if set(payload[1]) != expected or not all(
+                    v in (0, 1) for v in payload[1].values()
+                ):
+                    self._abort(ctx)
+                    return
+                self.wire_shares.update(payload[1])
+            self._eval_local_gates()
+            if self.layers:
+                self._issue_layer(0, ctx)
+                self._stage = "and-layers"
+            else:
+                self._broadcast_outputs(ctx)
+            return
+
+        if self._stage == "and-layers":
+            if not self._complete_layer(inbox, ctx):
+                self._abort(ctx)
+                return
+            self._eval_local_gates()
+            next_layer = self._pending_layer + 1
+            if next_layer < len(self.layers):
+                self._issue_layer(next_layer, ctx)
+            else:
+                self._broadcast_outputs(ctx)
+            return
+
+        if self._stage == "reconstruct":
+            collected: List[tuple] = []
+            for j in range(self.n):
+                if j == self.index:
+                    continue
+                payload = inbox.one_from_party(j)
+                if (
+                    not isinstance(payload, tuple)
+                    or len(payload) != 2
+                    or payload[0] != "gmw-output-shares"
+                    or len(payload[1]) != len(self.circuit.outputs)
+                ):
+                    self._abort(ctx)
+                    return
+                collected.append(payload[1])
+            bits = []
+            for k in range(len(self.circuit.outputs)):
+                bit = self.wire_shares[self.circuit.outputs[k]]
+                for shares in collected:
+                    bit ^= shares[k] & 1
+                bits.append(bit)
+            ctx.output(int_of(bits))
+            self._stage = "done"
+            return
+
+
+class GmwProtocol(Protocol):
+    """GMW over a circuit, presented through the Protocol interface."""
+
+    def __init__(self, circuit: Circuit, widths: List[int], func: FunctionSpec):
+        if circuit.n_parties != func.n_parties:
+            raise ValueError("circuit/function party-count mismatch")
+        expected_bits = circuit.input_bits_per_party()
+        for i, w in enumerate(widths):
+            if expected_bits.get(i, 0) != w:
+                raise ValueError(
+                    f"party {i}: circuit has {expected_bits.get(i, 0)} input "
+                    f"bits, widths says {w}"
+                )
+        self.circuit = circuit
+        self.widths = list(widths)
+        self.func = func
+        self.n_parties = func.n_parties
+        self.name = f"gmw[{func.name}]"
+        self.max_rounds = 4 + len(circuit.and_layers())
+
+    def build_machines(self, rng: Rng) -> List[PartyMachine]:
+        return [
+            GmwMachine(i, self.n_parties, self.circuit, self.widths, self.func)
+            for i in range(self.n_parties)
+        ]
+
+    def build_functionalities(self, rng: Rng) -> Dict[str, Functionality]:
+        functionalities: Dict[str, Functionality] = {}
+        for gate in self.circuit.and_gates():
+            for i in range(self.n_parties):
+                for j in range(self.n_parties):
+                    if i != j:
+                        name = ot_instance_name(gate.wire, i, j)
+                        functionalities[name] = ObliviousTransfer(i, j)
+        return functionalities
+
+
+def gmw_from_spec(func: FunctionSpec, widths: List[int]) -> GmwProtocol:
+    """Compile a (small) FunctionSpec into a GMW protocol instance.
+
+    The spec must have a global integer output; output width is inferred
+    from ``func.output_bits``.
+    """
+
+    def global_func(inputs: tuple) -> int:
+        return func.outputs_for(inputs)[0]
+
+    circuit = compile_truth_table(
+        global_func, widths, func.output_bits, func.n_parties
+    )
+    return GmwProtocol(circuit, widths, func)

@@ -1,0 +1,160 @@
+"""Π½GMW: the honest-majority fair variant of GMW (paper, Appendix B.1).
+
+The protocol computes a (⌊n/2⌋+1)-out-of-n verifiable secret sharing of the
+output and then publicly reconstructs it.  Any coalition of at most
+⌊(n−1)/2⌋ parties can neither block reconstruction nor learn the secret
+early; a coalition of ⌈n/2⌉ parties can do both (for even n it learns the
+last missing share from the honest broadcasts thanks to rushing, then
+withholds its own).  Lemma 17 shows this profile makes Π½GMW *not*
+utility-balanced for even n, while for odd n it attains the balanced bound
+(but is still not optimally fair — Appendix B.1).
+
+Phase 1 is the honest-majority GMW computation, which enjoys guaranteed
+output delivery; we model it as a non-abortable VSS-dealing functionality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..crypto import vss
+from ..crypto.prf import Rng
+from ..engine.messages import ABORT, Inbox
+from ..engine.party import PartyContext, PartyMachine
+from ..engine.protocol import Protocol
+from ..functionalities.base import AdversaryHandle, Functionality
+from ..functions.library import FunctionSpec
+
+
+def reconstruction_threshold(n: int) -> int:
+    """⌊n/2⌋ + 1: the smallest share count that reconstructs."""
+    return n // 2 + 1
+
+
+class VssOutputDealer(Functionality):
+    """Phase-1 functionality: computes f, deals a VSS of the output.
+
+    Honest-majority GMW guarantees output delivery, so there is no abort
+    interface — the adversary may only request the corrupted parties'
+    shares (which it gets anyway by corrupting them).
+    """
+
+    name = "F_vss_sfe"
+
+    def __init__(self, func: FunctionSpec):
+        self.func = func
+
+    def invoke(
+        self,
+        inputs: Dict[int, object],
+        adversary: AdversaryHandle,
+        rng: Rng,
+        n: int,
+    ) -> Dict[int, object]:
+        effective = tuple(
+            inputs.get(i, self.func.default_inputs[i]) for i in range(n)
+        )
+        outputs = self.func.outputs_for(effective)
+        y = _encode_global(outputs[0])
+        threshold = reconstruction_threshold(n)
+        shares, keys = vss.deal(y, threshold, n, rng.fork("vss"))
+        payloads = {i: (shares[i], keys[i]) for i in range(n)}
+        if adversary.corrupted:
+            adversary.notify(
+                "corrupted-outputs",
+                {i: payloads[i] for i in sorted(adversary.corrupted)},
+            )
+        return payloads
+
+
+class ThresholdGmwMachine(PartyMachine):
+    """Phase 2: broadcast your share, reconstruct from the valid ones."""
+
+    def __init__(self, index: int, n: int, func: FunctionSpec):
+        super().__init__(index, n)
+        self.func = func
+        self.share = None
+        self.verifier_key = None
+
+    def on_round(self, round_no: int, inbox: Inbox, ctx: PartyContext) -> None:
+        if round_no == 0:
+            ctx.call(VssOutputDealer.name, self.input)
+            return
+        if round_no == 1:
+            payload = inbox.from_functionality(VssOutputDealer.name)
+            if payload is ABORT or payload is None:
+                # Cannot happen with the robust dealer, but stay defensive.
+                ctx.output_abort()
+                return
+            self.share, self.verifier_key = payload
+            ctx.broadcast(("vss-share", self.share))
+            return
+        if round_no == 2:
+            announced: List[vss.VssShare] = [self.share]
+            for j in range(self.n):
+                if j == self.index:
+                    continue
+                payload = inbox.one_from_party(j)
+                if (
+                    isinstance(payload, tuple)
+                    and len(payload) == 2
+                    and payload[0] == "vss-share"
+                    and isinstance(payload[1], vss.VssShare)
+                ):
+                    announced.append(payload[1])
+            threshold = reconstruction_threshold(self.n)
+            try:
+                y = vss.public_reconstruct(
+                    announced, self.verifier_key, threshold
+                )
+            except vss.VssError:
+                ctx.output_abort()
+                return
+            ctx.output(_decode_global(y))
+
+
+class ThresholdGmwProtocol(Protocol):
+    """Π½GMW as a Protocol: fair below n/2 corruptions, broken at ⌈n/2⌉."""
+
+    def __init__(self, func: FunctionSpec):
+        self.func = func
+        self.n_parties = func.n_parties
+        self.name = f"gmw-threshold[{func.name}]"
+        self.max_rounds = 4
+
+    def build_machines(self, rng: Rng) -> List[PartyMachine]:
+        return [
+            ThresholdGmwMachine(i, self.n_parties, self.func)
+            for i in range(self.n_parties)
+        ]
+
+    def build_functionalities(self, rng: Rng) -> Dict[str, Functionality]:
+        return {VssOutputDealer.name: VssOutputDealer(self.func)}
+
+
+def _encode_global(y) -> int:
+    """Pack a global output (int or tuple of ints) into a field element."""
+    if isinstance(y, int):
+        return (y << 1) | 0
+    if isinstance(y, tuple):
+        packed = 0
+        for v in y:
+            if not isinstance(v, int) or not 0 <= v < (1 << 16):
+                raise TypeError(f"cannot VSS-encode component {v!r}")
+            packed = (packed << 16) | v
+        return (((packed << 8) | len(y)) << 1) | 1
+    raise TypeError(f"cannot VSS-encode output {y!r}")
+
+
+def _decode_global(encoded: int):
+    is_tuple = encoded & 1
+    packed = encoded >> 1
+    if not is_tuple:
+        return packed
+    length = packed & 0xFF
+    packed >>= 8
+    values = []
+    for _ in range(length):
+        values.append(packed & 0xFFFF)
+        packed >>= 16
+    return tuple(reversed(values))

@@ -1,0 +1,37 @@
+"""The protocol zoo: every construction the paper defines or analyses."""
+
+from .contract_signing import (
+    CoinOrderedContractSigning,
+    IdealCoinContractSigning,
+    NaiveContractSigning,
+)
+from .opt_2sfe import Opt2SfeMachine, Opt2SfeProtocol
+from .opt_nsfe import OptNSfeMachine, OptNSfeProtocol
+from .dummy import DummyProtocol
+from .single_round import SingleRoundProtocol
+from .unbalanced_opt import UnbalancedOptProtocol
+from .hybrid_balanced import make_hybrid_balanced
+from .gordon_katz import GordonKatzMachine, GordonKatzProtocol
+from .gradual_release import GradualReleaseProtocol
+from .broadcast import DolevStrongBroadcast, NO_VALUE
+from .leaky_and import LeakyAndProtocol
+
+__all__ = [
+    "CoinOrderedContractSigning",
+    "IdealCoinContractSigning",
+    "NaiveContractSigning",
+    "Opt2SfeMachine",
+    "Opt2SfeProtocol",
+    "OptNSfeMachine",
+    "OptNSfeProtocol",
+    "DummyProtocol",
+    "SingleRoundProtocol",
+    "UnbalancedOptProtocol",
+    "make_hybrid_balanced",
+    "GradualReleaseProtocol",
+    "DolevStrongBroadcast",
+    "NO_VALUE",
+    "GordonKatzMachine",
+    "GordonKatzProtocol",
+    "LeakyAndProtocol",
+]

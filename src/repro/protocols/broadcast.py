@@ -1,0 +1,194 @@
+"""Dolev–Strong authenticated broadcast.
+
+The engine (and the paper, cf. the remark under Lemma 11) assumes a
+"standard ideal broadcast channel from the distributed computation
+literature".  This module realizes that channel from point-to-point links
+and a PKI, for any number of corruptions t < n: the classic Dolev–Strong
+protocol with signature chains, instantiated over the hash-based many-time
+signatures of :mod:`repro.crypto.mts`.
+
+Guarantees (with at most ``t`` corruptions):
+
+* **agreement** — all honest parties output the same value;
+* **validity** — if the sender is honest, that value is its input.
+
+A party accepts a value at round r only when it carries r distinct valid
+signatures starting with the sender's; accepted values are relayed with the
+party's own signature appended.  After t+1 rounds, an honest party outputs
+the unique extracted value, or the default ⊥-marker when the (corrupted)
+sender equivocated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..crypto.mts import MtsPublicKey, MtsSigner, mts_verify
+from ..crypto.prf import Rng
+from ..engine.messages import Inbox
+from ..engine.party import PartyContext, PartyMachine
+from ..engine.protocol import Protocol
+from ..functions.library import FunctionSpec
+
+#: Output marker for "no unique value extracted" (sender equivocation).
+NO_VALUE = "ds-no-value"
+
+#: Honest parties relay at most this many distinct values: once two are
+#: extracted the outcome is NO_VALUE regardless, so further relays are
+#: pointless (and would exhaust signing keys).
+MAX_RELAYED_VALUES = 2
+
+
+def _message_body(value) -> tuple:
+    return ("ds", value)
+
+
+class DolevStrongMachine(PartyMachine):
+    def __init__(
+        self,
+        index: int,
+        n: int,
+        sender: int,
+        max_faults: int,
+        signer: MtsSigner,
+        public_keys: Tuple[MtsPublicKey, ...],
+    ):
+        super().__init__(index, n)
+        self.sender = sender
+        self.max_faults = max_faults
+        self.signer = signer
+        self.public_keys = public_keys
+        self.extracted: Set = set()
+        self.relayed: Set = set()
+
+    # -- chain validation ------------------------------------------------------
+    def _chain_valid(self, value, chain, min_signatures: int) -> bool:
+        if not isinstance(chain, tuple) or len(chain) < min_signatures:
+            return False
+        signers = []
+        for entry in chain:
+            if not isinstance(entry, tuple) or len(entry) != 2:
+                return False
+            signer_index, sig = entry
+            if not isinstance(signer_index, int) or not (
+                0 <= signer_index < self.n
+            ):
+                return False
+            signers.append(signer_index)
+            if not mts_verify(
+                _message_body(value), sig, self.public_keys[signer_index]
+            ):
+                return False
+        if len(set(signers)) != len(signers):
+            return False
+        if signers[0] != self.sender:
+            return False
+        return True
+
+    def _relay(self, value, chain, ctx: PartyContext) -> None:
+        if value in self.relayed:
+            return
+        if len(self.relayed) >= MAX_RELAYED_VALUES:
+            return
+        self.relayed.add(value)
+        extended = chain + ((self.index, self.signer.sign(_message_body(value))),)
+        for j in range(self.n):
+            if j != self.index:
+                ctx.send(j, ("ds-relay", value, extended))
+
+    def _decide(self, ctx: PartyContext) -> None:
+        if len(self.extracted) == 1:
+            ctx.output(next(iter(self.extracted)))
+        else:
+            ctx.output(NO_VALUE)
+
+    # -- rounds -----------------------------------------------------------------
+    def on_round(self, round_no: int, inbox: Inbox, ctx: PartyContext) -> None:
+        final_round = self.max_faults + 1
+        if round_no == 0:
+            if self.index == self.sender:
+                value = self.input
+                self.extracted.add(value)
+                self.relayed.add(value)
+                chain = ((self.index, self.signer.sign(_message_body(value))),)
+                for j in range(self.n):
+                    if j != self.index:
+                        ctx.send(j, ("ds-relay", value, chain))
+            return
+        if round_no > final_round:
+            return
+        for message in inbox.messages:
+            payload = message.payload
+            if (
+                not isinstance(payload, tuple)
+                or len(payload) != 3
+                or payload[0] != "ds-relay"
+            ):
+                continue
+            _, value, chain = payload
+            if value in self.extracted:
+                continue
+            if not self._chain_valid(value, chain, min_signatures=round_no):
+                continue
+            self.extracted.add(value)
+            if round_no <= self.max_faults:
+                self._relay(value, chain, ctx)
+        if round_no == final_round:
+            self._decide(ctx)
+
+
+def _broadcast_spec(n: int, sender: int) -> FunctionSpec:
+    """The broadcast 'function': everyone outputs the sender's input."""
+
+    def evaluate(inputs):
+        return tuple(inputs[sender] for _ in range(n))
+
+    def sample(rng: Rng):
+        return tuple(
+            rng.randrange(1 << 16) if i == sender else 0 for i in range(n)
+        )
+
+    return FunctionSpec(
+        name=f"broadcast[{sender} of {n}]",
+        n_parties=n,
+        evaluate=evaluate,
+        default_inputs=tuple(0 for _ in range(n)),
+        sample_inputs=sample,
+        output_bits=16,
+    )
+
+
+class DolevStrongBroadcast(Protocol):
+    """Authenticated broadcast tolerating any t < n corruptions."""
+
+    def __init__(self, n: int, sender: int = 0, max_faults: Optional[int] = None):
+        if n < 2:
+            raise ValueError("need at least two parties")
+        if not 0 <= sender < n:
+            raise ValueError(f"no such party: {sender}")
+        self.sender = sender
+        self.max_faults = max_faults if max_faults is not None else n - 1
+        if not 0 <= self.max_faults < n:
+            raise ValueError("max_faults must be in [0, n)")
+        self.n_parties = n
+        self.func = _broadcast_spec(n, sender)
+        self.name = f"dolev-strong[n={n},t={self.max_faults}]"
+        self.max_rounds = self.max_faults + 3
+
+    def build_machines(self, rng: Rng) -> List[PartyMachine]:
+        signers = [
+            MtsSigner(rng.fork(f"pki-{i}"), capacity=MAX_RELAYED_VALUES + 2)
+            for i in range(self.n_parties)
+        ]
+        public_keys = tuple(s.public_key for s in signers)
+        return [
+            DolevStrongMachine(
+                i,
+                self.n_parties,
+                self.sender,
+                self.max_faults,
+                signers[i],
+                public_keys,
+            )
+            for i in range(self.n_parties)
+        ]

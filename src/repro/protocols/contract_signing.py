@@ -1,0 +1,246 @@
+"""The two contract-signing protocols from the paper's introduction.
+
+Π1 (naive): the parties exchange commitments to their locally signed
+contracts, then p1 opens first and p2 second.  A corrupted p2 can always
+take p1's opening and withhold its own — the best attacker gets γ10 with
+probability 1.
+
+Π2 (coin-ordered): the parties additionally run a commit-then-open coin
+toss; the coin b = b1 ⊕ b2 decides who opens first.  A corrupted party now
+finds itself in the "receive first" position only half the time, halving
+the best attacker's unfair payoff to (γ10 + γ11)/2 — the intuitive sense in
+which Π2 is "twice as fair" as Π1.
+
+Both protocols evaluate the contract-exchange function (fswp on signed
+contracts): on any inconsistency a party aborts with ⊥ (there is no default
+re-evaluation — one cannot locally forge the counterparty's signature).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..crypto.commitment import Commitment, Opening, commit, open_commitment
+from ..crypto.prf import Rng
+from ..engine.messages import Inbox
+from ..engine.party import PartyContext, PartyMachine
+from ..engine.protocol import Protocol
+from ..functions.library import FunctionSpec, make_contract_exchange
+
+
+def _valid_opening(payload, commitment) -> bool:
+    return (
+        isinstance(payload, Opening)
+        and isinstance(commitment, Commitment)
+        and open_commitment(commitment, payload)
+    )
+
+
+class NaiveExchangeMachine(PartyMachine):
+    """Π1 party: commit; p1 opens (round 1); p2 opens (round 2)."""
+
+    def __init__(self, index: int, n: int):
+        super().__init__(index, n)
+        self.opening = None
+        self.their_commitment = None
+
+    def on_round(self, round_no: int, inbox: Inbox, ctx: PartyContext) -> None:
+        other = 1 - self.index
+        if round_no == 0:
+            commitment, self.opening = commit(self.input, ctx.rng)
+            ctx.send(other, commitment)
+            return
+        if round_no == 1:
+            payload = inbox.one_from_party(other)
+            if not isinstance(payload, Commitment):
+                ctx.output_abort()
+                return
+            self.their_commitment = payload
+            if self.index == 0:
+                ctx.send(other, self.opening)
+            return
+        if round_no == 2:
+            if self.index == 1:
+                payload = inbox.one_from_party(other)
+                if not _valid_opening(payload, self.their_commitment):
+                    ctx.output_abort()
+                    return
+                ctx.output(payload.message)
+                ctx.send(other, self.opening)
+            return
+        if round_no == 3:
+            if self.index == 0:
+                payload = inbox.one_from_party(other)
+                if not _valid_opening(payload, self.their_commitment):
+                    ctx.output_abort()
+                    return
+                ctx.output(payload.message)
+            return
+
+
+class CoinOrderedExchangeMachine(PartyMachine):
+    """Π2 party: commit contracts + coin bits; open coins; b decides order."""
+
+    def __init__(self, index: int, n: int):
+        super().__init__(index, n)
+        self.contract_opening = None
+        self.coin_opening = None
+        self.their_contract_commitment = None
+        self.their_coin_commitment = None
+        self.first_opener = None
+
+    def on_round(self, round_no: int, inbox: Inbox, ctx: PartyContext) -> None:
+        other = 1 - self.index
+        if round_no == 0:
+            contract_com, self.contract_opening = commit(self.input, ctx.rng)
+            my_bit = ctx.rng.randrange(2)
+            coin_com, self.coin_opening = commit(my_bit, ctx.rng)
+            ctx.send(other, ("commitments", contract_com, coin_com))
+            return
+        if round_no == 1:
+            payload = inbox.one_from_party(other)
+            if (
+                not isinstance(payload, tuple)
+                or len(payload) != 3
+                or payload[0] != "commitments"
+                or not isinstance(payload[1], Commitment)
+                or not isinstance(payload[2], Commitment)
+            ):
+                ctx.output_abort()
+                return
+            self.their_contract_commitment = payload[1]
+            self.their_coin_commitment = payload[2]
+            ctx.send(other, self.coin_opening)
+            return
+        if round_no == 2:
+            payload = inbox.one_from_party(other)
+            if not _valid_opening(payload, self.their_coin_commitment):
+                ctx.output_abort()
+                return
+            their_bit = payload.message
+            if their_bit not in (0, 1):
+                ctx.output_abort()
+                return
+            self.first_opener = self.coin_opening.message ^ their_bit
+            if self.first_opener == self.index:
+                ctx.send(other, self.contract_opening)
+            return
+        if round_no == 3:
+            if self.first_opener == other:
+                payload = inbox.one_from_party(other)
+                if not _valid_opening(payload, self.their_contract_commitment):
+                    ctx.output_abort()
+                    return
+                ctx.output(payload.message)
+                ctx.send(other, self.contract_opening)
+            return
+        if round_no == 4:
+            if self.first_opener == self.index:
+                payload = inbox.one_from_party(other)
+                if not _valid_opening(payload, self.their_contract_commitment):
+                    ctx.output_abort()
+                    return
+                ctx.output(payload.message)
+            return
+
+
+class IdealCoinExchangeMachine(PartyMachine):
+    """Π2 variant in the Fct-hybrid model: the coin toss is ideal.
+
+    Used to demonstrate the framework's composability: replacing the real
+    commit-then-open coin toss with the ideal coin functionality leaves the
+    measured fairness unchanged (both concede (γ10 + γ11)/2), which is what
+    the RPD composition theorem promises.
+    """
+
+    def __init__(self, index: int, n: int):
+        super().__init__(index, n)
+        self.contract_opening = None
+        self.their_commitment = None
+        self.first_opener = None
+
+    def on_round(self, round_no: int, inbox: Inbox, ctx: PartyContext) -> None:
+        other = 1 - self.index
+        if round_no == 0:
+            commitment, self.contract_opening = commit(self.input, ctx.rng)
+            ctx.send(other, commitment)
+            ctx.call("F_ct", "toss")
+            return
+        if round_no == 1:
+            payload = inbox.one_from_party(other)
+            coin = inbox.from_functionality("F_ct")
+            if not isinstance(payload, Commitment) or coin not in (0, 1):
+                ctx.output_abort()
+                return
+            self.their_commitment = payload
+            self.first_opener = coin
+            if self.first_opener == self.index:
+                ctx.send(other, self.contract_opening)
+            return
+        if round_no == 2:
+            if self.first_opener == other:
+                payload = inbox.one_from_party(other)
+                if not _valid_opening(payload, self.their_commitment):
+                    ctx.output_abort()
+                    return
+                ctx.output(payload.message)
+                ctx.send(other, self.contract_opening)
+            return
+        if round_no == 3:
+            if self.first_opener == self.index:
+                payload = inbox.one_from_party(other)
+                if not _valid_opening(payload, self.their_commitment):
+                    ctx.output_abort()
+                    return
+                ctx.output(payload.message)
+            return
+
+
+class NaiveContractSigning(Protocol):
+    """Π1 from the introduction."""
+
+    def __init__(self, func: FunctionSpec = None):
+        self.func = func or make_contract_exchange()
+        if self.func.n_parties != 2:
+            raise ValueError("contract signing is a two-party protocol")
+        self.n_parties = 2
+        self.name = "pi1-naive"
+        self.max_rounds = 4
+
+    def build_machines(self, rng: Rng) -> List[PartyMachine]:
+        return [NaiveExchangeMachine(i, 2) for i in range(2)]
+
+
+class CoinOrderedContractSigning(Protocol):
+    """Π2 from the introduction."""
+
+    def __init__(self, func: FunctionSpec = None):
+        self.func = func or make_contract_exchange()
+        if self.func.n_parties != 2:
+            raise ValueError("contract signing is a two-party protocol")
+        self.n_parties = 2
+        self.name = "pi2-coin"
+        self.max_rounds = 5
+
+    def build_machines(self, rng: Rng) -> List[PartyMachine]:
+        return [CoinOrderedExchangeMachine(i, 2) for i in range(2)]
+
+
+class IdealCoinContractSigning(Protocol):
+    """Π2 in the Fct-hybrid model (composition reference)."""
+
+    def __init__(self, func: FunctionSpec = None):
+        self.func = func or make_contract_exchange()
+        if self.func.n_parties != 2:
+            raise ValueError("contract signing is a two-party protocol")
+        self.n_parties = 2
+        self.name = "pi2-ideal-coin"
+        self.max_rounds = 4
+
+    def build_machines(self, rng: Rng) -> List[PartyMachine]:
+        return [IdealCoinExchangeMachine(i, 2) for i in range(2)]
+
+    def build_functionalities(self, rng: Rng):
+        from ..functionalities.coin_toss import CoinToss
+
+        return {CoinToss.name: CoinToss()}

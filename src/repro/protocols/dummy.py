@@ -1,0 +1,49 @@
+"""ΦFsfe — the dummy protocol that just calls the fair trusted party.
+
+The reference point of *ideal* γC-fairness (Definition 19): no real
+protocol can restrict its best attacker below what the attacker gets
+against ΦFsfe.  Under Γ+fair the best t-adversary (0 < t < n) obtains γ11.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..crypto.prf import Rng
+from ..engine.messages import ABORT, Inbox
+from ..engine.party import PartyContext, PartyMachine
+from ..engine.protocol import Protocol
+from ..functionalities.base import Functionality
+from ..functionalities.sfe import FairSfe
+from ..functions.library import FunctionSpec
+
+
+class DummyMachine(PartyMachine):
+    """Forward the input to Fsfe, output whatever comes back."""
+
+    def on_round(self, round_no: int, inbox: Inbox, ctx: PartyContext) -> None:
+        if round_no == 0:
+            ctx.call(FairSfe.name, self.input)
+            return
+        if round_no == 1:
+            payload = inbox.from_functionality(FairSfe.name)
+            if payload is ABORT or payload is None:
+                ctx.output_abort()
+            else:
+                ctx.output(payload)
+
+
+class DummyProtocol(Protocol):
+    """ΦFsfe: the Fsfe-hybrid dummy protocol."""
+
+    def __init__(self, func: FunctionSpec):
+        self.func = func
+        self.n_parties = func.n_parties
+        self.name = f"dummy-fair[{func.name}]"
+        self.max_rounds = 2
+
+    def build_machines(self, rng: Rng) -> List[PartyMachine]:
+        return [DummyMachine(i, self.n_parties) for i in range(self.n_parties)]
+
+    def build_functionalities(self, rng: Rng) -> Dict[str, Functionality]:
+        return {FairSfe.name: FairSfe(self.func)}

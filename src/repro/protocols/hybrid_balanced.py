@@ -1,0 +1,26 @@
+"""Π′ — the utility-balanced but non-optimal protocol (Appendix B.1).
+
+Π′ runs Π½GMW when the party count is odd (where the threshold protocol
+attains the balanced sum exactly) and ΠOptnSFE when it is even (where
+Π½GMW overshoots by (γ10−γ11)/2, Lemma 17).  The resulting protocol is
+utility-balanced for every n, yet not optimally fair: for odd n an
+adversary corrupting ⌈n/2⌉ parties collects γ10 outright, strictly more
+than ΠOptnSFE concedes.
+"""
+
+from __future__ import annotations
+
+from ..engine.protocol import Protocol
+from ..functions.library import FunctionSpec
+from ..gmw.threshold import ThresholdGmwProtocol
+from .opt_nsfe import OptNSfeProtocol
+
+
+def make_hybrid_balanced(func: FunctionSpec) -> Protocol:
+    """Build Π′ for the party count of ``func``."""
+    if func.n_parties % 2 == 1:
+        protocol = ThresholdGmwProtocol(func)
+    else:
+        protocol = OptNSfeProtocol(func)
+    protocol.name = f"pi-prime[{func.name}]"
+    return protocol

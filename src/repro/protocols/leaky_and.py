@@ -1,0 +1,95 @@
+"""Π̃ — the intuitively insecure yet 1/2-secure-and-private protocol
+(paper §5, Appendix C.5).
+
+Computes logical AND.  The prescribed first message is a 0-bit from p2 to
+p1; an honest run then proceeds straight into the standard 1/4-secure GK
+protocol.  But if (a corrupted) p2 sends a 1-bit instead, p1 tosses a
+biased coin with Pr[C = 1] = 1/4 and, on C = 1, sends its *input* x1 to p2
+in the clear.
+
+Lemma 27 shows Π̃ is both 1/2-secure and fully private per the two separate
+conditions of [18]; Lemma 26 shows it does not realise Fsfe$ — the library's
+separation witness between 1/p-security and utility-based fairness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..crypto.prf import Rng
+from ..engine.messages import Inbox
+from ..engine.party import PartyContext, PartyMachine
+from ..engine.protocol import Protocol
+from ..functionalities.base import Functionality
+from ..functionalities.share_gen import GkShareGen, poly_domain_sharegen
+from ..functions.library import FunctionSpec, make_and
+from .gordon_katz import GordonKatzMachine
+
+#: Rounds of prologue before the embedded GK sub-protocol starts.
+PROLOGUE_ROUNDS = 2
+LEAK_PROBABILITY = 0.25
+
+
+class LeakyP1Machine(GordonKatzMachine):
+    """p1: watch for the 1-bit, maybe leak x1, then run the GK protocol."""
+
+    def __init__(self, func: FunctionSpec):
+        super().__init__(0, 2, func, start_round=PROLOGUE_ROUNDS)
+        self.leaked = False
+
+    def on_round(self, round_no: int, inbox: Inbox, ctx: PartyContext) -> None:
+        if round_no == 0:
+            return  # wait for p2's first message
+        if round_no == 1:
+            first = inbox.one_from_party(1)
+            if first == 1:
+                if ctx.rng.coin(LEAK_PROBABILITY):
+                    self.leaked = True
+                    ctx.send(1, ("leak", self.input))
+                else:
+                    ctx.send(1, ("empty",))
+            return
+        super().on_round(round_no, inbox, ctx)
+
+
+class LeakyP2Machine(GordonKatzMachine):
+    """p2 (honest): send the prescribed 0-bit, then run the GK protocol."""
+
+    def __init__(self, func: FunctionSpec):
+        super().__init__(1, 2, func, start_round=PROLOGUE_ROUNDS)
+
+    def on_round(self, round_no: int, inbox: Inbox, ctx: PartyContext) -> None:
+        if round_no == 0:
+            ctx.send(0, 0)
+            return
+        if round_no == 1:
+            return
+        super().on_round(round_no, inbox, ctx)
+
+
+class LeakyAndProtocol(Protocol):
+    """Π̃ for the logical AND, embedding the 1/4-secure GK protocol."""
+
+    def __init__(self, p: int = 4):
+        self.func = make_and()
+        self.p = p
+        self.n_parties = 2
+        self._template = poly_domain_sharegen(self.func, p)
+        self.reveal_rounds = self._template.rounds
+        self.name = "pi-tilde-leaky-and"
+        self.max_rounds = PROLOGUE_ROUNDS + self.reveal_rounds + 4
+
+    def build_machines(self, rng: Rng) -> List[PartyMachine]:
+        return [LeakyP1Machine(self.func), LeakyP2Machine(self.func)]
+
+    def build_functionalities(self, rng: Rng) -> Dict[str, Functionality]:
+        sharegen = poly_domain_sharegen(self.func, self.p)
+        self._last_sharegen = sharegen
+        return {GkShareGen.name: sharegen}
+
+    def classify_result(self, result):
+        from .gordon_katz import classify_gk
+
+        return classify_gk(
+            result, self.func, getattr(self, "_last_sharegen", None)
+        )

@@ -1,0 +1,91 @@
+"""The single-reconstruction-round strawman (Lemma 10).
+
+Phase 1 produces an authenticated sharing of the output exactly as in
+ΠOpt2SFE (the random index is ignored); phase 2 is a *single* simultaneous
+exchange of summands.  A rushing adversary receives the honest summand,
+reconstructs, and withholds its own: the honest party ends with ⊥ and the
+attacker collects γ10 with probability 1 — which is why no optimally fair
+protocol can have one reconstruction round.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..crypto import authenticated_sharing
+from ..crypto.prf import Rng
+from ..engine.messages import Inbox
+from ..engine.party import OUTPUT_DEFAULT, PartyContext, PartyMachine
+from ..engine.protocol import Protocol
+from ..functionalities.base import Functionality
+from ..functionalities.priv_sfe import (
+    ShareGenOutput,
+    TwoPartyShareGen,
+    decode_output,
+)
+from ..functions.library import FunctionSpec
+
+SHAREGEN = TwoPartyShareGen.name
+
+
+class SingleRoundMachine(PartyMachine):
+    def __init__(self, index: int, n: int, func: FunctionSpec):
+        super().__init__(index, n)
+        self.func = func
+        self.share = None
+
+    def _default_output(self, ctx: PartyContext) -> None:
+        inputs = list(self.func.default_inputs)
+        inputs[self.index] = self.input
+        value = self.func.outputs_for(tuple(inputs))[self.index]
+        ctx.output(value, OUTPUT_DEFAULT)
+
+    def on_round(self, round_no: int, inbox: Inbox, ctx: PartyContext) -> None:
+        other = 1 - self.index
+        if round_no == 0:
+            ctx.call(SHAREGEN, self.input)
+            return
+        if round_no == 1:
+            payload = inbox.from_functionality(SHAREGEN)
+            if not isinstance(payload, ShareGenOutput):
+                self._default_output(ctx)
+                return
+            self.share = payload.share
+            # The single reconstruction round: both open simultaneously.
+            ctx.send(other, self.share.wire_message())
+            return
+        if round_no == 2:
+            payload = inbox.one_from_party(other)
+            if payload is None:
+                # The counterparty withheld after (rushing) having seen our
+                # summand; it may already know y, so only ⊥ is sound.
+                ctx.output_abort()
+                return
+            try:
+                encoded = authenticated_sharing.reconstruct(self.share, payload)
+            except authenticated_sharing.ShareVerificationError:
+                ctx.output_abort()
+                return
+            ctx.output(decode_output(encoded)[self.index])
+
+
+class SingleRoundProtocol(Protocol):
+    """The Lemma-10 strawman with one reconstruction round."""
+
+    def __init__(self, func: FunctionSpec):
+        if func.n_parties != 2:
+            raise ValueError("two-party protocol")
+        self.func = func
+        self.n_parties = 2
+        self.name = f"single-round[{func.name}]"
+        self.max_rounds = 3
+
+    def build_machines(self, rng: Rng) -> List[PartyMachine]:
+        return [SingleRoundMachine(i, 2, self.func) for i in range(2)]
+
+    def build_functionalities(self, rng: Rng) -> Dict[str, Functionality]:
+        return {SHAREGEN: TwoPartyShareGen(self.func)}
+
+    @property
+    def reconstruction_rounds(self) -> int:
+        return 1

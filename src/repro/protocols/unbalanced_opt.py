@@ -1,0 +1,118 @@
+"""The Lemma-18 protocol: optimally fair but NOT utility-balanced.
+
+An intentionally artificial construction (Appendix B.1) separating the two
+multi-party optimality notions.  After the ΠOptnSFE-style phase 1 (signed
+output to a random pi*), every party signals "0" to everyone; pi* then
+
+* broadcasts y if it saw only 0-signals, but
+* if anyone deviated, tosses a coin: heads — broadcast anyway; tails —
+  send y *only to the deviators*.
+
+A 1-adversary corrupting pj ≠ i* can deviate (send 1-signals), pocketing y
+through the tails-branch while honest parties get nothing only if it also
+withholds... the paper's point is the *utility profile*: the best
+1-adversary achieves γ10/n + (n−1)/n · (γ10+γ11)/2, pushing the t-sum
+beyond the balanced bound while the best (n−1)-adversary still tops out at
+((n−1)γ10 + γ11)/n, preserving optimal fairness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..crypto import signature
+from ..crypto.prf import Rng
+from ..engine.messages import ABORT, Inbox
+from ..engine.party import PartyContext, PartyMachine
+from ..engine.protocol import Protocol
+from ..functionalities.base import Functionality
+from ..functionalities.priv_sfe import PrivOutput, PrivSfeWithAbort
+from ..functions.library import FunctionSpec
+
+PRIV_SFE = PrivSfeWithAbort.name
+
+
+class UnbalancedOptMachine(PartyMachine):
+    def __init__(self, index: int, n: int, func: FunctionSpec):
+        super().__init__(index, n)
+        self.func = func
+        self.priv = None
+
+    def on_round(self, round_no: int, inbox: Inbox, ctx: PartyContext) -> None:
+        if round_no == 0:
+            ctx.call(PRIV_SFE, self.input)
+            return
+        if round_no == 1:
+            payload = inbox.from_functionality(PRIV_SFE)
+            if not isinstance(payload, PrivOutput):
+                ctx.output_abort()
+                return
+            self.priv = payload
+            # Step 2: every party signals "0" to all others.
+            for j in range(self.n):
+                if j != self.index:
+                    ctx.send(j, ("signal", 0))
+            return
+        if round_no == 2:
+            if not self.priv.holds_output:
+                return  # non-holders wait for step 3's delivery
+            # Step 3: the output holder decides how to release.
+            deviators = []
+            for j in range(self.n):
+                if j == self.index:
+                    continue
+                payload = inbox.one_from_party(j)
+                if payload != ("signal", 0):
+                    deviators.append(j)
+            message = ("unbal-output", self.priv.value)
+            if not deviators:
+                ctx.broadcast(message)
+            elif ctx.rng.coin(0.5):
+                ctx.broadcast(message)
+            else:
+                for j in deviators:
+                    ctx.send(j, message)
+            y, _sigma = self.priv.value
+            ctx.output(y)
+            return
+        if round_no == 3:
+            if self.priv.holds_output:
+                return  # already output in round 2
+            vk = self.priv.verification_key
+            for message in inbox.messages:
+                payload = message.payload
+                if (
+                    isinstance(payload, tuple)
+                    and len(payload) == 2
+                    and payload[0] == "unbal-output"
+                    and isinstance(payload[1], tuple)
+                    and len(payload[1]) == 2
+                ):
+                    y, sigma = payload[1]
+                    if signature.ver(y, sigma, vk):
+                        ctx.output(y)
+                        return
+            ctx.output_abort()
+
+
+class UnbalancedOptProtocol(Protocol):
+    """The Lemma-18 separation protocol."""
+
+    def __init__(self, func: FunctionSpec):
+        if func.n_parties < 3:
+            raise ValueError(
+                "the separation needs n >= 3 (for n = 2 the notions coincide)"
+            )
+        self.func = func
+        self.n_parties = func.n_parties
+        self.name = f"unbalanced-opt[{func.name}]"
+        self.max_rounds = 4
+
+    def build_machines(self, rng: Rng) -> List[PartyMachine]:
+        return [
+            UnbalancedOptMachine(i, self.n_parties, self.func)
+            for i in range(self.n_parties)
+        ]
+
+    def build_functionalities(self, rng: Rng) -> Dict[str, Functionality]:
+        return {PRIV_SFE: PrivSfeWithAbort(self.func)}

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core import PayoffVector
+from repro.crypto import Rng
+from repro.functions import make_and, make_concat, make_swap
+
+
+@pytest.fixture
+def rng():
+    return Rng(b"test-suite")
+
+
+@pytest.fixture
+def gamma():
+    """The canonical Γ+fair vector used across tests."""
+    return PayoffVector(0.0, 0.0, 1.0, 0.5)
+
+
+@pytest.fixture
+def gamma_fair_only():
+    """A Γfair vector outside Γ+fair (γ00 > γ11)."""
+    return PayoffVector(0.6, 0.0, 1.0, 0.5)
+
+
+@pytest.fixture
+def swap16():
+    return make_swap(16)
+
+
+@pytest.fixture
+def and_func():
+    return make_and()
+
+
+@pytest.fixture
+def concat5():
+    return make_concat(5, 8)

@@ -1,0 +1,134 @@
+"""Adversary machinery tests: driver, probes, strategy space."""
+
+import pytest
+
+from repro.adversaries import (
+    AbortAtRound,
+    AdversaryFactory,
+    LockWatchingAborter,
+    PassiveAdversary,
+    RandomSingleCorruption,
+    RandomTCorruption,
+    a1_strategy,
+    a2_strategy,
+    corruption_sets,
+    fixed,
+    standard_strategy_space,
+    strategy_space_for_protocol,
+)
+from repro.adversaries.multiparty import RandomAllButOne
+from repro.crypto import Rng
+from repro.engine import run_execution
+from repro.functions import make_swap
+from repro.protocols import Opt2SfeProtocol
+
+
+class TestFactories:
+    def test_fixed_factory_names_instances(self):
+        factory = fixed("my-strategy", lambda: PassiveAdversary({0}))
+        adversary = factory(Rng(1))
+        assert adversary.name == "my-strategy"
+
+    def test_factory_fresh_instances(self):
+        factory = fixed("s", lambda: LockWatchingAborter({0}))
+        a = factory(Rng(1))
+        b = factory(Rng(2))
+        assert a is not b
+
+    def test_random_single_corruption_uses_rng(self):
+        picks = {
+            tuple(RandomSingleCorruption(3, Rng(k))._static_corruptions)
+            for k in range(60)
+        }
+        assert picks == {(0,), (1,), (2,)}
+
+    def test_random_t_corruption_size(self):
+        adversary = RandomTCorruption(6, 3, Rng(5))
+        assert len(adversary._static_corruptions) == 3
+
+    def test_random_all_but_one(self):
+        adversary = RandomAllButOne(4, Rng(3))
+        assert len(adversary._static_corruptions) == 3
+
+    def test_a1_a2(self):
+        assert a1_strategy()._static_corruptions == {0}
+        assert a2_strategy()._static_corruptions == {1}
+
+    def test_lock_watching_requires_corruption(self):
+        with pytest.raises(ValueError):
+            LockWatchingAborter(set())
+
+
+class TestStrategySpace:
+    def test_corruption_sets_enumeration(self):
+        sets = list(corruption_sets(3))
+        assert frozenset({0}) in sets
+        assert frozenset({0, 1}) in sets
+        assert frozenset({0, 1, 2}) not in sets  # default cap n−1
+        assert len(sets) == 6
+
+    def test_corruption_sets_cap(self):
+        sets = list(corruption_sets(4, max_size=1))
+        assert len(sets) == 4
+
+    def test_standard_space_composition(self):
+        space = standard_strategy_space(2, 4, ["F_x"])
+        names = [f.name for f in space]
+        assert any(n.startswith("passive") for n in names)
+        assert any(n.startswith("lock-watch") for n in names)
+        assert any(n.startswith("abort@r2") for n in names)
+        assert any("func-abort[F_x,ask]" in n for n in names)
+        assert len(names) == len(set(names))
+
+    def test_space_from_protocol_skips_ot_instances(self):
+        from repro.functions import make_and
+        from repro.gmw import gmw_from_spec
+
+        protocol = gmw_from_spec(make_and(), [1, 1])
+        space = strategy_space_for_protocol(protocol)
+        assert not any("ot:" in f.name for f in space)
+
+    def test_space_from_protocol_includes_hybrids(self):
+        protocol = Opt2SfeProtocol(make_swap(8))
+        space = strategy_space_for_protocol(protocol)
+        assert any("F_sharegen2" in f.name for f in space)
+
+
+class TestDriverMechanics:
+    def setup_method(self):
+        self.protocol = Opt2SfeProtocol(make_swap(16))
+
+    def test_passive_claims_only_real_outputs(self):
+        adversary = PassiveAdversary({0})
+        result = run_execution(self.protocol, (3, 9), adversary, Rng(1))
+        assert result.adversary_claim == 9  # p0's output = x2
+        assert not result.outputs[1].is_abort
+
+    def test_abort_at_round_goes_silent(self):
+        adversary = AbortAtRound({0}, 0, claim=False)
+        result = run_execution(self.protocol, (3, 9), adversary, Rng(2))
+        assert adversary.aborted
+        assert result.adversary_claim is None
+
+    def test_lock_watcher_claims_verified_value(self):
+        hits = 0
+        for k in range(60):
+            adversary = LockWatchingAborter({0})
+            result = run_execution(
+                self.protocol, (3, 9), adversary, Rng(("c", k))
+            )
+            if result.adversary_claim is not None:
+                assert result.adversary_claim == 9
+                hits += 1
+        assert hits == 60  # it always ends up learning (E10 or E11)
+
+    def test_abort_suppresses_corrupted_messages(self):
+        adversary = AbortAtRound({0}, 1, claim=False)
+        result = run_execution(self.protocol, (3, 9), adversary, Rng(3))
+        # No message from party 0 after round 0 may appear.
+        late = [
+            m
+            for m in result.transcript
+            if m.sender == 0 and m.round >= 1
+        ]
+        assert late == []

@@ -1,0 +1,111 @@
+"""Partial-fairness analysis tests (Theorem 23, Lemmas 25-27)."""
+
+import pytest
+
+from repro.adversaries import FixedRoundStopper, KnownOutputStopper
+from repro.analysis import (
+    gk_e10_probability,
+    gk_ideal_outcomes,
+    gk_real_outcomes,
+    gk_realization_distance,
+    leaky_distinguisher_probabilities,
+    leaky_ideal_bound_violated,
+    leaky_privacy_distance,
+    leaky_real_views,
+    leaky_simulated_views,
+    statistical_distance,
+)
+from repro.functions import make_and
+from repro.protocols import GordonKatzProtocol
+
+
+class TestStatisticalDistance:
+    def test_identical(self):
+        assert statistical_distance({"a": 10, "b": 10}, {"a": 1, "b": 1}) == 0
+
+    def test_disjoint(self):
+        assert statistical_distance({"a": 5}, {"b": 5}) == 1.0
+
+    def test_partial_overlap(self):
+        d = statistical_distance({"a": 3, "b": 1}, {"a": 1, "b": 3})
+        assert d == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            statistical_distance({}, {"a": 1})
+
+
+class TestGkRealization:
+    """Theorem 23: the GK protocol realizes Fsfe$ — real and simulated
+    outcome distributions coincide up to Monte-Carlo noise."""
+
+    def setup_method(self):
+        self.protocol = GordonKatzProtocol(make_and(), p=2)
+        self.inputs = (1, 1)
+
+    def _baseline(self, builder, runs):
+        """Self-distance of the real distribution: pure sampling noise."""
+        a = gk_real_outcomes(self.protocol, builder, self.inputs, runs, 100)
+        b = gk_real_outcomes(self.protocol, builder, self.inputs, runs, 200)
+        return statistical_distance(a, b)
+
+    def test_known_output_stopper_realization(self):
+        builder = lambda: KnownOutputStopper(0, known_output=1)
+        runs = 300
+        d = gk_realization_distance(
+            self.protocol, builder, self.inputs, runs, seed=1
+        )
+        assert d <= self._baseline(builder, runs) + 0.08
+
+    def test_fixed_round_stopper_realization(self):
+        builder = lambda: FixedRoundStopper(0, stop_index=2)
+        runs = 300
+        d = gk_realization_distance(
+            self.protocol, builder, self.inputs, runs, seed=2
+        )
+        assert d <= self._baseline(builder, runs) + 0.08
+
+    def test_e10_probability_bounded(self):
+        prob = gk_e10_probability(
+            self.protocol,
+            lambda: KnownOutputStopper(0, known_output=1),
+            self.inputs,
+            n_runs=300,
+            seed=3,
+        )
+        assert prob <= 1 / self.protocol.p + 0.06
+
+    def test_ideal_outcomes_have_same_support_shape(self):
+        builder = lambda: FixedRoundStopper(1, stop_index=0)
+        real = gk_real_outcomes(self.protocol, builder, self.inputs, 100, 4)
+        ideal = gk_ideal_outcomes(self.protocol, builder, self.inputs, 100, 5)
+        # Both stop after exactly one observed value.
+        assert all(k[1] == 1 for k in real)
+        assert all(k[1] == 1 for k in ideal)
+
+
+class TestLeakySeparation:
+    """Lemmas 26/27: Π̃ separates 1/p-security+privacy from Fsfe$."""
+
+    def test_distinguishers_show_non_realization(self):
+        p_z1, p_z2 = leaky_distinguisher_probabilities(n_runs=600, seed=1)
+        # Real world: Z1 fires (leak correct AND z1 = 0) essentially
+        # whenever Z2 fires (leak happened), both ≈ 1/4.
+        assert abs(p_z2 - 0.25) < 0.06
+        assert abs(p_z1 - p_z2) < 0.03
+        assert leaky_ideal_bound_violated(p_z1, p_z2, tolerance=0.03)
+
+    def test_privacy_simulator_matches_views(self):
+        d = leaky_privacy_distance(n_runs=500, seed=2)
+        baseline = statistical_distance(
+            leaky_real_views(500, 10), leaky_real_views(500, 11)
+        )
+        assert d <= baseline + 0.06
+
+    def test_view_support(self):
+        views = leaky_simulated_views(50, 3)
+        for (x1, leaked, count, all_zero), _ in views.items():
+            assert x1 in (0, 1)
+            assert leaked in (None, x1)
+            assert all_zero
+            assert count > 0

@@ -1,0 +1,61 @@
+"""Reconstruction-round measurement tests (Definition 8, Lemmas 9-10)."""
+
+import pytest
+
+from repro.analysis import (
+    honest_round_count,
+    measure_reconstruction_rounds,
+)
+from repro.functions import make_swap
+from repro.protocols import (
+    DummyProtocol,
+    Opt2SfeProtocol,
+    SingleRoundProtocol,
+)
+
+
+class TestHonestRoundCount:
+    def test_opt2sfe(self):
+        assert honest_round_count(Opt2SfeProtocol(make_swap(8))) == 4
+
+    def test_single_round(self):
+        assert honest_round_count(SingleRoundProtocol(make_swap(8))) == 3
+
+    def test_dummy(self):
+        assert honest_round_count(DummyProtocol(make_swap(8))) == 2
+
+
+class TestReconstructionRounds:
+    def test_lemma9_opt2sfe_has_two(self):
+        measurement = measure_reconstruction_rounds(
+            Opt2SfeProtocol(make_swap(8)), n_runs=120, seed=1
+        )
+        assert measurement.reconstruction_rounds == 2
+        # Unfair window = the two phase-2 rounds (engine rounds 1, 2).
+        assert measurement.unfair_rounds == [1, 2]
+        # Abort during phase 1 is harmless.
+        assert measurement.unfair_probability[0] == 0.0
+
+    def test_lemma10_single_round_has_one(self):
+        measurement = measure_reconstruction_rounds(
+            SingleRoundProtocol(make_swap(8)), n_runs=120, seed=2
+        )
+        assert measurement.reconstruction_rounds == 1
+        # And the single reconstruction round is unfair with certainty —
+        # the γ10 concession of Lemma 10.
+        assert measurement.unfair_probability[1] == pytest.approx(1.0)
+
+    def test_dummy_has_zero(self):
+        measurement = measure_reconstruction_rounds(
+            DummyProtocol(make_swap(8)), n_runs=60, seed=3
+        )
+        assert measurement.reconstruction_rounds == 0
+
+    def test_unfair_window_halves_split(self):
+        """In ΠOpt2SFE the unfair abort succeeds only when î is corrupted
+        — probability 1/2 per round."""
+        measurement = measure_reconstruction_rounds(
+            Opt2SfeProtocol(make_swap(8)), n_runs=300, seed=4
+        )
+        for r in measurement.unfair_rounds:
+            assert 0.38 <= measurement.unfair_probability[r] <= 0.62

@@ -1,0 +1,113 @@
+"""Sensitivity / trade-off analysis tests."""
+
+import pytest
+
+from repro.analysis import (
+    crossover,
+    dominates_everywhere,
+    expected_attacker_advantage,
+    gamma_ratio_sweep,
+    utility_curve,
+)
+from repro.adversaries import LockWatchingAborter, fixed
+from repro.core import STANDARD_GAMMA
+from repro.functions import make_concat, make_swap
+from repro.gmw import ThresholdGmwProtocol
+from repro.protocols import OptNSfeProtocol, Opt2SfeProtocol
+
+
+@pytest.fixture(scope="module")
+def curves():
+    n = 4
+    gamma = STANDARD_GAMMA
+    opt = utility_curve(
+        OptNSfeProtocol(make_concat(n, 8)), gamma, n_runs=200, seed="s1"
+    )
+    thr = utility_curve(
+        ThresholdGmwProtocol(make_concat(n, 8)), gamma, n_runs=200, seed="s2"
+    )
+    return opt, thr
+
+
+class TestUtilityCurve:
+    def test_covers_all_budgets(self, curves):
+        opt, thr = curves
+        assert set(opt.points) == {1, 2, 3}
+        assert set(thr.points) == {1, 2, 3}
+
+    def test_monotone_in_t_for_opt_nsfe(self, curves):
+        opt, _ = curves
+        values = [opt.value(t) for t in sorted(opt.points)]
+        assert values == sorted(values)
+
+    def test_as_rows(self, curves):
+        opt, _ = curves
+        rows = opt.as_rows()
+        assert len(rows) == 3 and rows[0][0] == 1
+
+
+class TestCrossover:
+    def test_threshold_crosses_at_honest_majority(self, curves):
+        opt, thr = curves
+        # Threshold GMW is safer below n/2, worse from ⌈n/2⌉ = 2 on.
+        assert crossover(thr, opt) == 2
+        assert crossover(opt, thr) == 1
+
+    def test_no_dominance_either_way(self, curves):
+        opt, thr = curves
+        assert not dominates_everywhere(opt, thr, tol=0.02)
+        assert not dominates_everywhere(thr, opt, tol=0.02)
+
+    def test_self_dominance(self, curves):
+        opt, _ = curves
+        assert dominates_everywhere(opt, opt)
+        assert crossover(opt, opt) is None
+
+    def test_mismatched_budgets_rejected(self, curves):
+        opt, _ = curves
+        other = utility_curve(
+            OptNSfeProtocol(make_concat(3, 8)),
+            STANDARD_GAMMA,
+            n_runs=50,
+            seed="s3",
+        )
+        with pytest.raises(ValueError):
+            crossover(opt, other)
+
+
+class TestGammaRatioSweep:
+    def test_opt2sfe_traces_the_theorem3_line(self):
+        strategies = [
+            fixed("l0", lambda: LockWatchingAborter({0})),
+            fixed("l1", lambda: LockWatchingAborter({1})),
+        ]
+        sweep = gamma_ratio_sweep(
+            lambda: Opt2SfeProtocol(make_swap(16)),
+            strategies,
+            ratios=(0.0, 0.5),
+            n_runs=250,
+            seed="s4",
+        )
+        for ratio, utility in sweep:
+            assert utility == pytest.approx((1 + ratio) / 2, abs=0.09)
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            gamma_ratio_sweep(
+                lambda: Opt2SfeProtocol(make_swap(16)), [], ratios=(1.0,)
+            )
+
+
+class TestExpectedAdvantage:
+    def test_weighted_average(self, curves):
+        opt, _ = curves
+        beliefs = {1: 0.5, 2: 0.3, 3: 0.2}
+        expected = sum(opt.value(t) * p for t, p in beliefs.items())
+        assert expected_attacker_advantage(opt, beliefs) == pytest.approx(
+            expected
+        )
+
+    def test_distribution_must_normalise(self, curves):
+        opt, _ = curves
+        with pytest.raises(ValueError):
+            expected_attacker_advantage(opt, {1: 0.5})

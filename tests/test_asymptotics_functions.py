@@ -1,0 +1,140 @@
+"""Asymptotics helpers and the function library."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    approx_eq,
+    approx_leq,
+    is_negligible,
+    is_noticeable,
+    negl_eq,
+    negl_leq,
+    negligible_envelope,
+    strictly_less,
+)
+from repro.crypto import Rng
+from repro.functions import (
+    make_and,
+    make_concat,
+    make_contract_exchange,
+    make_global,
+    make_millionaires,
+    make_swap,
+    make_xor,
+)
+
+
+class TestAsymptotics:
+    def test_negligible_functions(self):
+        assert is_negligible(lambda k: 2.0**-k)
+        assert is_negligible(lambda k: k**5 * 2.0**-k, poly_degree=2)
+        assert not is_negligible(lambda k: 1.0 / k)
+        assert not is_negligible(lambda k: 1.0 / (k**2))
+
+    def test_noticeable_functions(self):
+        assert is_noticeable(lambda k: 1.0 / k)
+        assert is_noticeable(lambda k: 0.5)
+        assert not is_noticeable(lambda k: 2.0**-k)
+
+    def test_negl_leq(self):
+        assert negl_leq(lambda k: 0.5, lambda k: 0.5)
+        assert negl_leq(lambda k: 0.5 + 2.0**-k, lambda k: 0.5)
+        assert not negl_leq(lambda k: 0.5 + 1.0 / k, lambda k: 0.5)
+
+    def test_negl_eq(self):
+        assert negl_eq(lambda k: 0.5 + 2.0**-k, lambda k: 0.5)
+        assert not negl_eq(lambda k: 0.6, lambda k: 0.5)
+
+    def test_numeric_helpers(self):
+        assert approx_leq(0.76, 0.75, 0.02)
+        assert not approx_leq(0.80, 0.75, 0.02)
+        assert approx_eq(0.74, 0.75, 0.02)
+        assert strictly_less(0.5, 0.75, 0.1)
+        assert not strictly_less(0.7, 0.75, 0.1)
+        with pytest.raises(ValueError):
+            approx_leq(1, 1, -0.1)
+
+    def test_envelope(self):
+        assert negligible_envelope(10) == pytest.approx(2**-10)
+
+
+class TestFunctionLibrary:
+    def test_swap(self):
+        f = make_swap(8)
+        assert f.outputs_for((3, 9)) == (9, 3)
+        assert not f.has_poly_domain()
+        assert not f.has_poly_range()
+
+    def test_and_metadata(self):
+        f = make_and()
+        assert f.outputs_for((1, 1)) == (1, 1)
+        assert f.has_poly_domain() and f.has_poly_range()
+
+    def test_xor(self):
+        assert make_xor().outputs_for((1, 1)) == (0, 0)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=30)
+    def test_millionaires(self, a, b):
+        f = make_millionaires(8)
+        expected = 1 if a > b else 0
+        assert f.outputs_for((a, b)) == (expected, expected)
+
+    def test_concat(self):
+        f = make_concat(3, 8)
+        assert f.outputs_for((1, 2, 3)) == ((1, 2, 3),) * 3
+        with pytest.raises(ValueError):
+            make_concat(1, 8)
+
+    def test_contract_exchange_nonzero_samples(self):
+        f = make_contract_exchange(16)
+        rng = Rng(1)
+        for _ in range(30):
+            x1, x2 = f.sample_inputs(rng)
+            assert x1 != 0 and x2 != 0
+
+    def test_arity_enforced(self):
+        f = make_and()
+        with pytest.raises(ValueError):
+            f.outputs_for((1, 1, 1))
+
+    def test_bad_evaluator_caught(self):
+        from repro.functions import FunctionSpec
+
+        f = FunctionSpec(
+            name="broken",
+            n_parties=2,
+            evaluate=lambda inputs: (1,),  # wrong arity out
+            default_inputs=(0, 0),
+            sample_inputs=lambda rng: (0, 0),
+        )
+        with pytest.raises(ValueError):
+            f.outputs_for((0, 0))
+
+    def test_corrupted_output_values(self):
+        f = make_swap(8)
+        assert f.corrupted_output_values((3, 9), {0}) == {9}
+        assert f.corrupted_output_values((3, 9), {0, 1}) == {9, 3}
+
+    def test_make_global(self):
+        f = make_global(
+            "sum3",
+            3,
+            lambda v: sum(v) % 4,
+            ((0, 1), (0, 1), (0, 1)),
+            output_domain=(0, 1, 2, 3),
+        )
+        assert f.outputs_for((1, 1, 1)) == (3, 3, 3)
+        rng = Rng(2)
+        assert all(x in (0, 1) for x in f.sample_inputs(rng))
+
+    def test_sampled_inputs_in_domain(self):
+        f = make_and()
+        rng = Rng(3)
+        for _ in range(20):
+            x1, x2 = f.sample_inputs(rng)
+            assert x1 in (0, 1) and x2 in (0, 1)

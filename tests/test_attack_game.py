@@ -1,0 +1,106 @@
+"""RPD attack-game tests (paper §2, Remark 2)."""
+
+import pytest
+
+from repro.core import STANDARD_GAMMA, AttackGame, game_from_estimates
+from repro.core.utility import UtilityEstimate
+
+
+def estimate(protocol, adversary, mean):
+    return UtilityEstimate(
+        mean=mean,
+        ci_low=mean - 0.01,
+        ci_high=mean + 0.01,
+        n_runs=1000,
+        event_distribution={},
+        protocol=protocol,
+        adversary=adversary,
+    )
+
+
+@pytest.fixture
+def game():
+    estimates = [
+        estimate("opt", "lock0", 0.74),
+        estimate("opt", "lock1", 0.76),
+        estimate("opt", "passive", 0.50),
+        estimate("naive", "lock0", 0.50),
+        estimate("naive", "lock1", 1.00),
+        estimate("single", "lock0", 1.00),
+        estimate("single", "lock1", 1.00),
+    ]
+    return game_from_estimates(STANDARD_GAMMA, estimates)
+
+
+class TestAttackGame:
+    def test_best_response(self, game):
+        strategy, value = game.best_response("opt")
+        assert strategy == "lock1" and value == 0.76
+        assert game.best_response("naive") == ("lock1", 1.0)
+
+    def test_game_value_is_minimax(self, game):
+        assert game.game_value() == 0.76
+
+    def test_minimax_protocols(self, game):
+        assert game.minimax_protocols() == ["opt"]
+
+    def test_minimax_with_tolerance_groups_ties(self, game):
+        # naive/single tie at 1.0 but don't reach the value even with a
+        # generous tolerance below 0.24.
+        assert game.minimax_protocols(tol=0.2) == ["opt"]
+        assert set(game.minimax_protocols(tol=0.3)) == {
+            "opt", "naive", "single",
+        }
+
+    def test_designer_payoff_zero_sum(self, game):
+        assert game.designer_payoff("opt") == -game.attacker_value("opt")
+
+    def test_mixture_cannot_beat_pure_minimax(self, game):
+        """The attacker moves second, so designer mixing never helps."""
+        mixed = game.mixture_value({"opt": 0.5, "naive": 0.5})
+        assert mixed >= game.game_value()
+        assert mixed == pytest.approx(0.5 * 0.76 + 0.5 * 1.0)
+
+    def test_mixture_validation(self, game):
+        with pytest.raises(ValueError):
+            game.mixture_value({"opt": 0.7})
+        with pytest.raises(KeyError):
+            game.mixture_value({"nonexistent": 1.0})
+
+    def test_as_rows_sorted_by_value(self, game):
+        rows = game.as_rows()
+        assert rows[0][0] == "opt"
+        values = [row[2] for row in rows]
+        assert values == sorted(values)
+
+    def test_empty_game_rejected(self):
+        with pytest.raises(ValueError):
+            AttackGame(STANDARD_GAMMA, {})
+        with pytest.raises(ValueError):
+            AttackGame(STANDARD_GAMMA, {"p": {}})
+
+
+class TestMeasuredGame:
+    def test_end_to_end_minimax_matches_optimal_fairness(self):
+        """Measured over the real protocols: the attack game's minimax
+        solution is the optimally fair protocol (Remark 2)."""
+        from repro.adversaries import LockWatchingAborter, fixed
+        from repro.analysis import sweep_strategies
+        from repro.functions import make_swap
+        from repro.protocols import Opt2SfeProtocol, SingleRoundProtocol
+
+        strategies = [
+            fixed("lock0", lambda: LockWatchingAborter({0})),
+            fixed("lock1", lambda: LockWatchingAborter({1})),
+        ]
+        estimates = []
+        swap = make_swap(16)
+        for protocol in (Opt2SfeProtocol(swap), SingleRoundProtocol(swap)):
+            estimates.extend(
+                sweep_strategies(
+                    protocol, strategies, STANDARD_GAMMA, 200, seed="game"
+                )
+            )
+        game = game_from_estimates(STANDARD_GAMMA, estimates)
+        assert game.minimax_protocols(tol=0.05) == ["opt-2sfe[swap16]"]
+        assert game.game_value() == pytest.approx(0.75, abs=0.08)

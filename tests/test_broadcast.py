@@ -1,0 +1,211 @@
+"""Merkle trees, many-time signatures, and Dolev–Strong broadcast."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    MerkleProof,
+    MerkleTree,
+    MtsSigner,
+    Rng,
+    SignatureCapacityExceeded,
+    mts_verify,
+    verify_inclusion,
+)
+from repro.adversaries import AbortAtRound, PassiveAdversary
+from repro.engine import Adversary, run_execution
+from repro.protocols import DolevStrongBroadcast, NO_VALUE
+from repro.protocols.broadcast import _message_body
+
+
+class TestMerkle:
+    def test_single_leaf(self):
+        tree = MerkleTree([b"only"])
+        assert verify_inclusion(tree.root, b"only", tree.prove(0))
+
+    @given(st.integers(1, 9), st.integers(0, 8))
+    @settings(max_examples=30)
+    def test_inclusion_roundtrip(self, n_leaves, index):
+        index = index % n_leaves
+        leaves = [f"leaf-{i}".encode() for i in range(n_leaves)]
+        tree = MerkleTree(leaves)
+        assert verify_inclusion(tree.root, leaves[index], tree.prove(index))
+
+    def test_wrong_leaf_rejected(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        assert not verify_inclusion(tree.root, b"x", tree.prove(1))
+
+    def test_wrong_position_rejected(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        proof = tree.prove(1)
+        wrong = MerkleProof(0, proof.siblings)
+        assert not verify_inclusion(tree.root, b"b", wrong)
+
+    def test_bad_inputs(self):
+        tree = MerkleTree([b"a"])
+        assert not verify_inclusion(tree.root, "not-bytes", tree.prove(0))
+        assert not verify_inclusion(tree.root, b"a", "not-a-proof")
+        with pytest.raises(ValueError):
+            MerkleTree([])
+        with pytest.raises(IndexError):
+            tree.prove(5)
+
+
+class TestManyTimeSignatures:
+    def setup_method(self):
+        self.signer = MtsSigner(Rng(b"mts"), capacity=4)
+        self.pk = self.signer.public_key
+
+    def test_sign_verify_multiple(self):
+        for k in range(4):
+            sig = self.signer.sign(("msg", k))
+            assert mts_verify(("msg", k), sig, self.pk)
+
+    def test_capacity_enforced(self):
+        for k in range(4):
+            self.signer.sign(k)
+        with pytest.raises(SignatureCapacityExceeded):
+            self.signer.sign(99)
+        assert self.signer.remaining == 0
+
+    def test_wrong_message_rejected(self):
+        sig = self.signer.sign("hello")
+        assert not mts_verify("other", sig, self.pk)
+
+    def test_wrong_key_rejected(self):
+        other = MtsSigner(Rng(b"other"), capacity=2)
+        sig = self.signer.sign("hello")
+        assert not mts_verify("hello", sig, other.public_key)
+
+    def test_transplanted_vk_rejected(self):
+        """A signature under a key not certified by the root fails."""
+        from dataclasses import replace
+
+        rogue = MtsSigner(Rng(b"rogue"), capacity=2)
+        rogue_sig = rogue.sign("hello")
+        honest_sig = self.signer.sign("hello")
+        forged = replace(
+            rogue_sig, proof=honest_sig.proof, index=honest_sig.index
+        )
+        assert not mts_verify("hello", forged, self.pk)
+
+    def test_garbage_rejected(self):
+        assert not mts_verify("x", "garbage", self.pk)
+        assert not mts_verify("x", self.signer.sign("x"), "garbage")
+
+
+class EquivocatingSender(Adversary):
+    """Corrupted sender signs two different values and splits the group."""
+
+    def initial_corruptions(self, n):
+        return {0}
+
+    def on_corrupt(self, party):
+        self.machine = party.runner.machine
+
+    def on_round(self, iface):
+        if iface.round != 0:
+            return
+        signer = self.machine.signer
+        for value, targets in ((111, (1,)), (222, tuple(range(2, iface.n)))):
+            chain = ((0, signer.sign(_message_body(value))),)
+            for j in targets:
+                iface.send(0, j, ("ds-relay", value, chain))
+
+
+class SelectiveSender(Adversary):
+    """Corrupted sender sends a single signed value to ONE party only and
+    stays silent towards the rest."""
+
+    def initial_corruptions(self, n):
+        return {0}
+
+    def on_corrupt(self, party):
+        self.machine = party.runner.machine
+
+    def on_round(self, iface):
+        if iface.round == 0:
+            chain = ((0, self.machine.signer.sign(_message_body(333))),)
+            iface.send(0, 1, ("ds-relay", 333, chain))
+
+
+class TestDolevStrong:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_validity_honest_sender(self, n):
+        protocol = DolevStrongBroadcast(n, sender=0)
+        inputs = tuple([42] + [0] * (n - 1))
+        result = run_execution(protocol, inputs, PassiveAdversary(), Rng(n))
+        assert all(rec.value == 42 for rec in result.outputs.values())
+
+    def test_nonzero_sender_index(self):
+        protocol = DolevStrongBroadcast(4, sender=2)
+        result = run_execution(
+            protocol, (0, 0, 99, 0), PassiveAdversary(), Rng(7)
+        )
+        assert all(rec.value == 99 for rec in result.outputs.values())
+
+    def test_agreement_under_equivocation(self):
+        """The split heals: by round t+1 every honest party has extracted
+        both values and outputs the same NO_VALUE marker."""
+        protocol = DolevStrongBroadcast(5, sender=0)
+        result = run_execution(
+            protocol, (0, 0, 0, 0, 0), EquivocatingSender(), Rng(8)
+        )
+        values = {rec.value for rec in result.outputs.values()}
+        assert values == {NO_VALUE}
+
+    def test_agreement_under_selective_send(self):
+        """A value sent to a single honest party propagates to all."""
+        protocol = DolevStrongBroadcast(5, sender=0)
+        result = run_execution(
+            protocol, (0, 0, 0, 0, 0), SelectiveSender(), Rng(9)
+        )
+        values = {rec.value for rec in result.outputs.values()}
+        assert values == {333}
+
+    def test_silent_sender_yields_no_value_everywhere(self):
+        protocol = DolevStrongBroadcast(4, sender=0)
+        result = run_execution(
+            protocol, (5, 0, 0, 0), AbortAtRound({0}, 0, claim=False), Rng(10)
+        )
+        assert all(rec.value == NO_VALUE for rec in result.outputs.values())
+
+    def test_forged_chain_rejected(self):
+        """A relayer cannot originate a value: chains must start with the
+        sender's signature."""
+
+        class Forger(Adversary):
+            def initial_corruptions(self, n):
+                return {1}
+
+            def on_corrupt(self, party):
+                self.machine = party.runner.machine
+
+            def on_round(self, iface):
+                if iface.round == 1:
+                    chain = (
+                        (1, self.machine.signer.sign(_message_body(666))),
+                    )
+                    for j in (0, 2, 3):
+                        iface.send(1, j, ("ds-relay", 666, chain))
+
+        protocol = DolevStrongBroadcast(4, sender=0)
+        result = run_execution(protocol, (5, 0, 0, 0), Forger(), Rng(11))
+        for i in (0, 2, 3):
+            assert result.outputs[i].value == 5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DolevStrongBroadcast(1)
+        with pytest.raises(ValueError):
+            DolevStrongBroadcast(3, sender=5)
+        with pytest.raises(ValueError):
+            DolevStrongBroadcast(3, max_faults=3)
+
+    def test_round_complexity(self):
+        protocol = DolevStrongBroadcast(4, sender=0, max_faults=2)
+        result = run_execution(
+            protocol, (7, 0, 0, 0), PassiveAdversary(), Rng(12)
+        )
+        assert result.rounds_used == protocol.max_faults + 2

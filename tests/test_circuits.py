@@ -1,0 +1,201 @@
+"""Circuit representation, builder, and truth-table compiler tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    Circuit,
+    CircuitBuilder,
+    Gate,
+    GateKind,
+    and_circuit,
+    bits_of,
+    compile_truth_table,
+    equality_circuit,
+    int_of,
+    majority3_circuit,
+    millionaires_circuit,
+    parity_circuit,
+    swap_circuit,
+    xor_circuit,
+)
+
+
+class TestCircuitValidation:
+    def test_use_before_definition(self):
+        with pytest.raises(ValueError):
+            Circuit([Gate(0, GateKind.XOR, args=(1, 2))], [0], 2)
+
+    def test_duplicate_wire(self):
+        gates = [
+            Gate(0, GateKind.INPUT, owner=0, input_index=0),
+            Gate(0, GateKind.INPUT, owner=1, input_index=0),
+        ]
+        with pytest.raises(ValueError):
+            Circuit(gates, [0], 2)
+
+    def test_input_without_owner(self):
+        with pytest.raises(ValueError):
+            Circuit([Gate(0, GateKind.INPUT)], [0], 2)
+
+    def test_bad_arity(self):
+        gates = [
+            Gate(0, GateKind.INPUT, owner=0, input_index=0),
+            Gate(1, GateKind.XOR, args=(0,)),
+        ]
+        with pytest.raises(ValueError):
+            Circuit(gates, [1], 2)
+
+    def test_undefined_output(self):
+        gates = [Gate(0, GateKind.INPUT, owner=0, input_index=0)]
+        with pytest.raises(ValueError):
+            Circuit(gates, [5], 2)
+
+    def test_const_needs_bit(self):
+        with pytest.raises(ValueError):
+            Circuit([Gate(0, GateKind.CONST, value=None)], [0], 1)
+
+
+class TestStockCircuits:
+    @pytest.mark.parametrize("x", [0, 1])
+    @pytest.mark.parametrize("y", [0, 1])
+    def test_and(self, x, y):
+        assert and_circuit().evaluate({0: [x], 1: [y]}) == (x & y,)
+
+    @pytest.mark.parametrize("x", [0, 1])
+    @pytest.mark.parametrize("y", [0, 1])
+    def test_xor(self, x, y):
+        assert xor_circuit().evaluate({0: [x], 1: [y]}) == (x ^ y,)
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=40)
+    def test_millionaires(self, x, y):
+        circuit = millionaires_circuit(4)
+        out = circuit.evaluate({0: bits_of(x, 4), 1: bits_of(y, 4)})
+        assert out == (1 if x > y else 0,)
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=30)
+    def test_swap(self, x, y):
+        circuit = swap_circuit(4)
+        out = circuit.evaluate({0: bits_of(x, 4), 1: bits_of(y, 4)})
+        assert int_of(out[:4]) == y and int_of(out[4:]) == x
+
+    @given(st.integers(0, 7), st.integers(0, 7))
+    @settings(max_examples=30)
+    def test_equality(self, x, y):
+        circuit = equality_circuit(3)
+        out = circuit.evaluate({0: bits_of(x, 3), 1: bits_of(y, 3)})
+        assert out == (1 if x == y else 0,)
+
+    def test_parity(self):
+        circuit = parity_circuit(4)
+        assert circuit.evaluate({0: [1], 1: [1], 2: [0], 3: [1]}) == (1,)
+
+    @pytest.mark.parametrize(
+        "bits,expected",
+        [((0, 0, 0), 0), ((1, 0, 0), 0), ((1, 1, 0), 1), ((1, 1, 1), 1)],
+    )
+    def test_majority3(self, bits, expected):
+        circuit = majority3_circuit()
+        out = circuit.evaluate({i: [b] for i, b in enumerate(bits)})
+        assert out == (expected,)
+
+
+class TestBuilder:
+    def test_or_gate(self):
+        b = CircuitBuilder(2)
+        x, y = b.input_bit(0), b.input_bit(1)
+        circuit = b.build([b.or_(x, y)])
+        for xv in (0, 1):
+            for yv in (0, 1):
+                assert circuit.evaluate({0: [xv], 1: [yv]}) == (xv | yv,)
+
+    def test_mux(self):
+        b = CircuitBuilder(3)
+        s, a, c = b.input_bit(0), b.input_bit(1), b.input_bit(2)
+        circuit = b.build([b.mux(s, a, c)])
+        for sv in (0, 1):
+            for av in (0, 1):
+                for cv in (0, 1):
+                    out = circuit.evaluate({0: [sv], 1: [av], 2: [cv]})
+                    assert out == ((av if sv else cv),)
+
+    def test_invalid_owner(self):
+        with pytest.raises(ValueError):
+            CircuitBuilder(2).input_bit(5)
+
+    def test_input_counting(self):
+        b = CircuitBuilder(2)
+        b.input_bits(0, 3)
+        b.input_bit(1)
+        circuit = b.build([0])
+        assert circuit.input_bits_per_party() == {0: 3, 1: 1}
+
+
+class TestAndLayers:
+    def test_layering(self):
+        b = CircuitBuilder(2)
+        x, y = b.input_bit(0), b.input_bit(1)
+        a1 = b.and_(x, y)  # layer 1
+        a2 = b.and_(a1, x)  # layer 2
+        a3 = b.and_(x, y)  # layer 1 again
+        circuit = b.build([a2, a3])
+        layers = circuit.and_layers()
+        assert [len(layer) for layer in layers] == [2, 1]
+
+    def test_xor_does_not_deepen(self):
+        b = CircuitBuilder(2)
+        x, y = b.input_bit(0), b.input_bit(1)
+        a1 = b.and_(x, y)
+        mixed = b.xor(a1, x)
+        a2 = b.and_(mixed, y)
+        circuit = b.build([a2])
+        assert len(circuit.and_layers()) == 2
+
+
+class TestCompiler:
+    @given(st.integers(0, 7), st.integers(0, 7))
+    @settings(max_examples=30)
+    def test_compiled_matches_function(self, x, y):
+        circuit = compile_truth_table(
+            lambda v: (v[0] + v[1]) % 8, [3, 3], 3
+        )
+        out = circuit.evaluate({0: bits_of(x, 3), 1: bits_of(y, 3)})
+        assert int_of(out) == (x + y) % 8
+
+    def test_constant_zero_output(self):
+        circuit = compile_truth_table(lambda v: 0, [1, 1], 1)
+        assert circuit.evaluate({0: [1], 1: [1]}) == (0,)
+
+    def test_constant_one_output(self):
+        circuit = compile_truth_table(lambda v: 1, [1, 1], 1)
+        for x in (0, 1):
+            for y in (0, 1):
+                assert circuit.evaluate({0: [x], 1: [y]}) == (1,)
+
+    def test_width_cap(self):
+        with pytest.raises(ValueError):
+            compile_truth_table(lambda v: 0, [10, 10], 1)
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            compile_truth_table(lambda v: 0, [1], 1, n_parties=2)
+
+    def test_three_party(self):
+        circuit = compile_truth_table(
+            lambda v: v[0] ^ v[1] ^ v[2], [1, 1, 1], 1
+        )
+        assert circuit.evaluate({0: [1], 1: [1], 2: [1]}) == (1,)
+
+
+class TestBitHelpers:
+    @given(st.integers(0, 255))
+    @settings(max_examples=30)
+    def test_roundtrip(self, x):
+        assert int_of(bits_of(x, 8)) == x
+
+    def test_bits_of_overflow(self):
+        with pytest.raises(ValueError):
+            bits_of(256, 8)

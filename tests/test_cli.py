@@ -1,0 +1,80 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+class TestParser:
+    def test_gamma_parsing(self):
+        parser = build_parser()
+        args = parser.parse_args(["--gamma", "0,0,2,1", "zoo"])
+        assert args.gamma.gamma10 == 2.0
+
+    def test_gamma_validation(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--gamma", "0,0,1", "zoo"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--gamma", "0,0,0.5,1", "zoo"])  # not Γfair
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_zoo(self, capsys):
+        out = run_cli(capsys, "zoo")
+        assert "opt-2sfe" in out and "pi2-ideal-coin" in out
+
+    def test_zoo_small_party_count_drops_multiparty(self, capsys):
+        out = run_cli(capsys, "--parties", "2", "zoo")
+        assert "opt-nsfe" not in out
+
+    def test_attack(self, capsys):
+        out = run_cli(capsys, "--runs", "60", "attack", "pi1")
+        assert "sup utility: 1.0000" in out
+        assert "E10=1.000" in out
+
+    def test_compare(self, capsys):
+        out = run_cli(capsys, "--runs", "80", "compare", "pi1", "pi2")
+        assert "Fairness partial order" in out
+        assert out.index("pi2-coin") < out.index("pi1-naive")
+
+    def test_unknown_protocol(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "attack", "nonexistent")
+
+    def test_balance(self, capsys):
+        out = run_cli(
+            capsys, "--runs", "80", "--parties", "3", "balance", "opt-nsfe"
+        )
+        assert "utility-balanced: True" in out
+
+    def test_balance_rejects_two_party(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "balance", "pi1")
+
+    def test_reconstruction(self, capsys):
+        out = run_cli(capsys, "--runs", "60", "reconstruction", "single-round")
+        assert "reconstruction rounds: 1" in out
+
+    def test_curve(self, capsys):
+        out = run_cli(
+            capsys,
+            "--runs", "60", "--parties", "4",
+            "curve", "opt-nsfe", "gmw-threshold",
+        )
+        assert "t" in out
+        assert "corruption budget" in out
+
+    def test_curve_party_mismatch(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "curve", "pi1", "opt-nsfe")

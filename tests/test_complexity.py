@@ -1,0 +1,88 @@
+"""Protocol-cost measurement tests."""
+
+import pytest
+
+from repro.adversaries import LockWatchingAborter, fixed
+from repro.analysis import (
+    FrontierPoint,
+    fairness_cost_frontier,
+    measure_cost,
+    pareto_optimal,
+)
+from repro.core import STANDARD_GAMMA
+from repro.functions import make_and, make_swap
+from repro.protocols import (
+    GordonKatzProtocol,
+    NaiveContractSigning,
+    Opt2SfeProtocol,
+    SingleRoundProtocol,
+)
+
+
+class TestMeasureCost:
+    def test_opt2sfe_costs(self):
+        cost = measure_cost(Opt2SfeProtocol(make_swap(8)), n_runs=5, seed=1)
+        assert cost.rounds == 4
+        assert cost.point_to_point_messages == 2  # the two reconstructions
+        assert cost.functionality_responses == 2  # one F response per party
+        assert cost.total_messages == 4
+
+    def test_naive_contract_costs(self):
+        cost = measure_cost(NaiveContractSigning(), n_runs=5, seed=2)
+        assert cost.rounds == 4
+        assert cost.point_to_point_messages == 4  # 2 commitments + 2 openings
+        assert cost.functionality_responses == 0
+
+    def test_gk_rounds_scale_with_p(self):
+        c2 = measure_cost(GordonKatzProtocol(make_and(), 2), n_runs=2, seed=3)
+        c4 = measure_cost(GordonKatzProtocol(make_and(), 4), n_runs=2, seed=3)
+        assert c4.rounds > c2.rounds
+        assert c4.total_messages > c2.total_messages
+
+    def test_broadcast_counted(self):
+        from repro.functions import make_concat
+        from repro.protocols import OptNSfeProtocol
+
+        cost = measure_cost(OptNSfeProtocol(make_concat(3, 8)), n_runs=3, seed=4)
+        assert cost.broadcasts == 3  # one per party
+
+    def test_needs_runs(self):
+        with pytest.raises(ValueError):
+            measure_cost(Opt2SfeProtocol(make_swap(8)), n_runs=0)
+
+
+class TestFrontier:
+    def test_frontier_sorted_and_pareto(self):
+        strategies = [
+            fixed("l0", lambda: LockWatchingAborter({0})),
+            fixed("l1", lambda: LockWatchingAborter({1})),
+        ]
+        swap = make_swap(8)
+        points = fairness_cost_frontier(
+            [
+                (Opt2SfeProtocol(swap), strategies),
+                (SingleRoundProtocol(swap), strategies),
+            ],
+            STANDARD_GAMMA,
+            n_runs_utility=120,
+            n_runs_cost=3,
+            seed="frontier",
+        )
+        assert points[0].protocol_name == "opt-2sfe[swap8]"
+        frontier = pareto_optimal(points)
+        names = {p.protocol_name for p in frontier}
+        # opt-2sfe: fairer but one more round; single-round: cheaper but
+        # unfair — neither dominates the other.
+        assert names == {"opt-2sfe[swap8]", "single-round[swap8]"}
+
+    def test_pareto_removes_dominated(self):
+        a = FrontierPoint("a", utility=0.5, rounds=4, total_messages=4)
+        b = FrontierPoint("b", utility=0.5, rounds=6, total_messages=4)
+        c = FrontierPoint("c", utility=0.9, rounds=4, total_messages=4)
+        frontier = pareto_optimal([a, b, c])
+        assert [p.protocol_name for p in frontier] == ["a"]
+
+    def test_pareto_keeps_tradeoffs(self):
+        a = FrontierPoint("a", utility=0.5, rounds=10, total_messages=1)
+        b = FrontierPoint("b", utility=0.9, rounds=2, total_messages=1)
+        assert len(pareto_optimal([a, b])) == 2

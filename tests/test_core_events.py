@@ -1,0 +1,109 @@
+"""Fairness-event classification tests (§3 Step 2)."""
+
+import pytest
+
+from repro.core import FairnessEvent, adversary_learned_output, classify
+from repro.core.events import honest_learned_output
+from repro.engine import OUTPUT_ABORT, OUTPUT_DEFAULT, OUTPUT_REAL, OutputRecord
+from repro.engine.execution import ExecutionResult
+from repro.engine.messages import ABORT
+from repro.functions import make_swap
+
+
+def result_with(outputs, corrupted, claim, n=2, inputs=(3, 9)):
+    return ExecutionResult(
+        protocol_name="test",
+        n=n,
+        inputs=inputs,
+        outputs=outputs,
+        corrupted=set(corrupted),
+        adversary_claim=claim,
+        rounds_used=3,
+    )
+
+
+class TestEventProperties:
+    def test_bit_semantics(self):
+        assert FairnessEvent.E10.adversary_learned
+        assert not FairnessEvent.E10.honest_learned
+        assert FairnessEvent.E01.honest_learned
+        assert not FairnessEvent.E01.adversary_learned
+        assert FairnessEvent.E11.adversary_learned and FairnessEvent.E11.honest_learned
+
+
+class TestClassification:
+    def setup_method(self):
+        self.func = make_swap(8)  # f(3, 9) = (9, 3)
+
+    def test_no_corruption_is_e01(self):
+        result = result_with(
+            {0: OutputRecord(9, OUTPUT_REAL), 1: OutputRecord(3, OUTPUT_REAL)},
+            corrupted=set(),
+            claim=None,
+        )
+        assert classify(result, self.func) is FairnessEvent.E01
+
+    def test_all_corrupted_is_e11(self):
+        result = result_with({}, corrupted={0, 1}, claim=None)
+        assert classify(result, self.func) is FairnessEvent.E11
+
+    def test_e11_both_learn(self):
+        result = result_with(
+            {1: OutputRecord(3, OUTPUT_REAL)}, corrupted={0}, claim=9
+        )
+        assert classify(result, self.func) is FairnessEvent.E10.__class__("11")
+
+    def test_e10_unfair(self):
+        result = result_with(
+            {1: OutputRecord(ABORT, OUTPUT_ABORT)}, corrupted={0}, claim=9
+        )
+        assert classify(result, self.func) is FairnessEvent.E10
+
+    def test_e01_default_output_counts_as_received(self):
+        # Honest p1 re-evaluated with default input: value ≠ true output,
+        # but kind DEFAULT marks the simulator's input substitution.
+        result = result_with(
+            {1: OutputRecord(0, OUTPUT_DEFAULT)}, corrupted={0}, claim=None
+        )
+        assert classify(result, self.func) is FairnessEvent.E01
+
+    def test_e00_nobody_learns(self):
+        result = result_with(
+            {1: OutputRecord(ABORT, OUTPUT_ABORT)}, corrupted={0}, claim=None
+        )
+        assert classify(result, self.func) is FairnessEvent.E00
+
+    def test_wrong_claim_not_credited(self):
+        result = result_with(
+            {1: OutputRecord(ABORT, OUTPUT_ABORT)}, corrupted={0}, claim=12345
+        )
+        assert classify(result, self.func) is FairnessEvent.E00
+
+    def test_random_honest_output_not_learned(self):
+        # The Gordon–Katz case: honest holds a wrong "real" value.
+        result = result_with(
+            {1: OutputRecord(7, OUTPUT_REAL)}, corrupted={0}, claim=9
+        )
+        assert classify(result, self.func) is FairnessEvent.E10
+
+    def test_claim_matches_corrupted_component_only(self):
+        # Corrupted p0's true output is 9 (= x2); claiming p1's output (3)
+        # does not count.
+        result = result_with(
+            {1: OutputRecord(3, OUTPUT_REAL)}, corrupted={0}, claim=3
+        )
+        assert not adversary_learned_output(result, self.func)
+
+    def test_honest_learned_helper(self):
+        good = result_with(
+            {1: OutputRecord(3, OUTPUT_REAL)}, corrupted={0}, claim=None
+        )
+        assert honest_learned_output(good, self.func)
+        bad = result_with(
+            {1: OutputRecord(4, OUTPUT_REAL)}, corrupted={0}, claim=None
+        )
+        assert not honest_learned_output(bad, self.func)
+
+    def test_no_honest_parties_never_learn(self):
+        result = result_with({}, corrupted={0, 1}, claim=None)
+        assert not honest_learned_output(result, self.func)

@@ -1,0 +1,128 @@
+"""Payoff vector and Γ-class tests (§3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FairnessEvent,
+    PARTIAL_FAIRNESS_GAMMA,
+    PayoffVector,
+    STANDARD_GAMMA,
+    CostedPayoffVector,
+    count_cost,
+    gamma_fair_grid,
+    gamma_fair_plus_grid,
+    zero_cost,
+)
+
+
+class TestGammaClasses:
+    def test_standard_gamma_in_both_classes(self):
+        assert STANDARD_GAMMA.in_gamma_fair()
+        assert STANDARD_GAMMA.in_gamma_fair_plus()
+
+    def test_partial_fairness_gamma(self):
+        # (0, 0, 1, 0): γ00 = γ11 = 0 < γ10 = 1.
+        assert PARTIAL_FAIRNESS_GAMMA.in_gamma_fair()
+        assert PARTIAL_FAIRNESS_GAMMA.in_gamma_fair_plus()
+
+    def test_gamma10_must_dominate(self):
+        assert not PayoffVector(0.0, 0.0, 0.5, 0.5).in_gamma_fair()
+        assert not PayoffVector(1.5, 0.0, 1.0, 0.5).in_gamma_fair()
+
+    def test_gamma01_must_be_minimum(self):
+        assert not PayoffVector(-0.5, 0.0, 1.0, 0.5).in_gamma_fair()
+
+    def test_fair_but_not_plus(self):
+        vec = PayoffVector(0.8, 0.0, 1.0, 0.5)
+        assert vec.in_gamma_fair()
+        assert not vec.in_gamma_fair_plus()
+
+    def test_require_helpers(self):
+        with pytest.raises(ValueError):
+            PayoffVector(0, 0, 0.5, 1.0).require_fair()
+        with pytest.raises(ValueError):
+            PayoffVector(0.8, 0.0, 1.0, 0.5).require_fair_plus()
+        assert STANDARD_GAMMA.require_fair_plus() is STANDARD_GAMMA
+
+    def test_grids_nonempty_and_valid(self):
+        grid = gamma_fair_grid()
+        assert grid and all(g.in_gamma_fair() for g in grid)
+        plus = gamma_fair_plus_grid()
+        assert plus and all(g.in_gamma_fair_plus() for g in plus)
+        assert set(plus) <= set(grid)
+
+
+class TestNormalisation:
+    def test_shift_to_zero(self):
+        vec = PayoffVector(1.0, 0.5, 2.0, 1.5)
+        norm = vec.normalised()
+        assert norm.gamma01 == 0.0
+        assert norm.gamma00 == 0.5
+        assert norm.gamma10 == 1.5
+        assert norm.gamma11 == 1.0
+
+    def test_normalisation_preserves_fairness_class(self):
+        vec = PayoffVector(1.0, 0.5, 2.0, 1.5)
+        assert vec.normalised().in_gamma_fair()
+
+    @given(
+        st.floats(-1, 1),
+        st.floats(0.1, 2.0),
+    )
+    @settings(max_examples=30)
+    def test_shift_invariance_of_expected_differences(self, shift, scale):
+        """Shifting all payoffs changes every expected utility identically,
+        so the fairness *relation* is invariant."""
+        base = PayoffVector(0.0, 0.0, 1.0 * scale, 0.5 * scale)
+        shifted = PayoffVector(
+            base.gamma00 + shift,
+            base.gamma01 + shift,
+            base.gamma10 + shift,
+            base.gamma11 + shift,
+        )
+        dist_a = {FairnessEvent.E10: 0.5, FairnessEvent.E11: 0.5}
+        dist_b = {FairnessEvent.E10: 1.0}
+        gap_base = base.expected(dist_b) - base.expected(dist_a)
+        gap_shift = shifted.expected(dist_b) - shifted.expected(dist_a)
+        assert gap_base == pytest.approx(gap_shift)
+
+
+class TestExpectedPayoff:
+    def test_expected(self):
+        dist = {FairnessEvent.E10: 0.5, FairnessEvent.E11: 0.5}
+        assert STANDARD_GAMMA.expected(dist) == pytest.approx(0.75)
+
+    def test_value_lookup(self):
+        assert STANDARD_GAMMA.value(FairnessEvent.E10) == 1.0
+        assert STANDARD_GAMMA.value(FairnessEvent.E01) == 0.0
+
+    def test_overweight_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            STANDARD_GAMMA.expected(
+                {FairnessEvent.E10: 0.8, FairnessEvent.E11: 0.8}
+            )
+
+    def test_as_tuple_and_str(self):
+        assert STANDARD_GAMMA.as_tuple() == (0.0, 0.0, 1.0, 0.5)
+        assert "γ10=1.0" in str(STANDARD_GAMMA)
+
+
+class TestCostedPayoff:
+    def test_cost_subtracted(self):
+        costed = CostedPayoffVector(STANDARD_GAMMA, count_cost(lambda t: 0.1 * t))
+        events = {FairnessEvent.E10: 1.0}
+        corruptions = {frozenset({0, 1}): 1.0}
+        assert costed.expected(events, corruptions) == pytest.approx(0.8)
+
+    def test_zero_cost(self):
+        costed = CostedPayoffVector(STANDARD_GAMMA, zero_cost())
+        events = {FairnessEvent.E11: 1.0}
+        assert costed.expected(events, {frozenset({0}): 1.0}) == pytest.approx(
+            0.5
+        )
+
+    def test_class_membership_delegates(self):
+        costed = CostedPayoffVector(STANDARD_GAMMA, zero_cost())
+        assert costed.in_gamma_fair_plus_c()

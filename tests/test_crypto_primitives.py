@@ -1,0 +1,198 @@
+"""MAC, commitment, signature, and OTP tests."""
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    Rng,
+    blind,
+    blind_vector,
+    commit,
+    gen,
+    gen_mac_key,
+    gen_pad,
+    open_commitment,
+    sign,
+    tag,
+    unblind,
+    ver,
+    verify,
+)
+from repro.crypto.commitment import Opening
+from repro.crypto.mac import KEY_LENGTH, MacKey, TAG_LENGTH
+
+
+class TestMac:
+    def setup_method(self):
+        self.rng = Rng(b"mac")
+        self.key = gen_mac_key(self.rng)
+
+    def test_tag_verifies(self):
+        t = tag(12345, self.key)
+        assert verify(12345, t, self.key)
+
+    def test_wrong_message_fails(self):
+        t = tag(12345, self.key)
+        assert not verify(12346, t, self.key)
+
+    def test_wrong_key_fails(self):
+        t = tag("hello", self.key)
+        other = gen_mac_key(self.rng)
+        assert not verify("hello", t, other)
+
+    def test_tag_length(self):
+        assert len(tag(b"x", self.key)) == TAG_LENGTH
+
+    def test_message_types(self):
+        for message in (b"bytes", 7, "str", (1, "two", b"3"), None, ()):
+            assert verify(message, tag(message, self.key), self.key)
+
+    def test_tuple_encoding_unambiguous(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert tag(("ab", "c"), self.key) != tag(("a", "bc"), self.key)
+
+    def test_type_distinction(self):
+        # The int 1 and the string "1" must tag differently.
+        assert tag(1, self.key) != tag("1", self.key)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            tag(3.14, self.key)
+
+    def test_malformed_key_rejected(self):
+        with pytest.raises(ValueError):
+            MacKey(b"short")
+
+    def test_key_length(self):
+        assert len(self.key.material) == KEY_LENGTH
+
+    @given(st.integers(0, 2**64))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, message):
+        assert verify(message, tag(message, self.key), self.key)
+
+
+class TestCommitment:
+    def setup_method(self):
+        self.rng = Rng(b"com")
+
+    def test_commit_open(self):
+        com, opening = commit("contract", self.rng)
+        assert open_commitment(com, opening)
+
+    def test_binding_to_message(self):
+        com, opening = commit(10, self.rng)
+        forged = Opening(opening.nonce, 11)
+        assert not open_commitment(com, forged)
+
+    def test_binding_to_nonce(self):
+        com, opening = commit(10, self.rng)
+        forged = Opening(b"\x00" * len(opening.nonce), 10)
+        assert not open_commitment(com, forged)
+
+    def test_hiding_fresh_nonces(self):
+        com1, _ = commit(10, self.rng)
+        com2, _ = commit(10, self.rng)
+        assert com1.digest != com2.digest
+
+    def test_malformed_opening(self):
+        com, _ = commit(10, self.rng)
+        assert not open_commitment(com, "not-an-opening")
+        assert not open_commitment("not-a-commitment", Opening(b"x" * 16, 10))
+
+    def test_unencodable_message_in_opening(self):
+        com, _ = commit(10, self.rng)
+        assert not open_commitment(com, Opening(b"x" * 16, 3.14))
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, message):
+        rng = Rng(b"prop")
+        com, opening = commit(message, rng)
+        assert open_commitment(com, opening)
+
+
+class TestLamportSignatures:
+    def setup_method(self):
+        self.rng = Rng(b"sig")
+        self.sk, self.vk = gen(self.rng)
+
+    def test_sign_verify(self):
+        assert ver("message", sign("message", self.sk), self.vk)
+
+    def test_wrong_message_fails(self):
+        assert not ver("other", sign("message", self.sk), self.vk)
+
+    def test_wrong_key_fails(self):
+        _, vk2 = gen(self.rng)
+        assert not ver("message", sign("message", self.sk), vk2)
+
+    def test_non_signature_rejected(self):
+        assert not ver("m", "garbage", self.vk)
+        assert not ver("m", None, self.vk)
+
+    def test_truncated_signature_rejected(self):
+        sig = sign("m", self.sk)
+        from repro.crypto.signature import Signature
+
+        assert not ver("m", Signature(sig.preimages[:100]), self.vk)
+
+    def test_tampered_preimage_rejected(self):
+        sig = sign("m", self.sk)
+        from repro.crypto.signature import Signature
+
+        tampered = (b"\x00" * 32,) + sig.preimages[1:]
+        assert not ver("m", Signature(tampered), self.vk)
+
+    def test_signs_tuples(self):
+        y = (1, 2, 3)
+        assert ver(y, sign(y, self.sk), self.vk)
+
+    def test_unencodable_message(self):
+        sig = sign("m", self.sk)
+        assert not ver(3.14, sig, self.vk)
+
+    def test_deepcopy_is_identity(self):
+        # Immutable mixin: clones share the key objects.
+        assert copy.deepcopy(self.vk) is self.vk
+        assert copy.deepcopy(self.sk) is self.sk
+
+
+class TestOtp:
+    def test_blind_unblind(self):
+        rng = Rng(b"otp")
+        pad = gen_pad(16, rng)
+        assert unblind(blind(1234, pad, 16), pad, 16) == 1234
+
+    def test_value_out_of_range(self):
+        with pytest.raises(ValueError):
+            blind(1 << 16, 0, 16)
+
+    def test_pad_width_positive(self):
+        with pytest.raises(ValueError):
+            gen_pad(0, Rng(1))
+
+    def test_blind_vector(self):
+        rng = Rng(b"otp2")
+        values = [1, 2, 3]
+        pads = [gen_pad(8, rng) for _ in values]
+        blinded = blind_vector(values, pads, 8)
+        assert [unblind(c, k, 8) for c, k in zip(blinded, pads)] == values
+
+    def test_blind_vector_length_mismatch(self):
+        with pytest.raises(ValueError):
+            blind_vector([1, 2], [3], 8)
+
+    def test_perfect_blinding(self):
+        """Each ciphertext value is equally likely over a random pad."""
+        from collections import Counter
+
+        rng = Rng(b"otp3")
+        counts = Counter(
+            blind(5, gen_pad(3, rng), 3) for _ in range(4000)
+        )
+        assert set(counts) == set(range(8))
+        assert all(350 <= c <= 650 for c in counts.values())

@@ -1,0 +1,211 @@
+"""Secret sharing tests: additive, XOR, Shamir, authenticated, VSS."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    Field,
+    Rng,
+    ShareVerificationError,
+    additive_reconstruct,
+    additive_share,
+    deal,
+    reconstruct,
+    shamir_reconstruct,
+    shamir_share,
+    xor_reconstruct,
+    xor_share,
+)
+from repro.crypto import vss
+
+
+class TestAdditiveSharing:
+    def setup_method(self):
+        self.field = Field(2**61 - 1)
+        self.rng = Rng(b"add")
+
+    @given(st.integers(0, 2**61 - 2), st.integers(1, 8))
+    @settings(max_examples=40)
+    def test_roundtrip(self, secret, n):
+        shares = additive_share(secret, n, self.field, Rng((secret, n)))
+        assert additive_reconstruct(shares, self.field) == secret
+
+    def test_single_share(self):
+        shares = additive_share(42, 1, self.field, self.rng)
+        assert shares == [42]
+
+    def test_zero_shares_rejected(self):
+        with pytest.raises(ValueError):
+            additive_share(1, 0, self.field, self.rng)
+
+    def test_empty_reconstruct_rejected(self):
+        with pytest.raises(ValueError):
+            additive_reconstruct([], self.field)
+
+    def test_individual_share_uniform(self):
+        """Any single summand of a fixed secret is (near-)uniform."""
+        field = Field(5)
+        from collections import Counter
+
+        counts = Counter(
+            additive_share(3, 2, field, self.rng)[0] for _ in range(5000)
+        )
+        assert set(counts) == set(range(5))
+        assert all(800 <= c <= 1200 for c in counts.values())
+
+
+class TestXorSharing:
+    @given(st.integers(0, 1), st.integers(1, 6))
+    @settings(max_examples=30)
+    def test_roundtrip(self, bit, n):
+        shares = xor_share(bit, n, Rng((bit, n)))
+        assert xor_reconstruct(shares) == bit
+
+    def test_non_bit_rejected(self):
+        with pytest.raises(ValueError):
+            xor_share(2, 3, Rng(1))
+        with pytest.raises(ValueError):
+            xor_reconstruct([0, 2])
+
+
+class TestShamir:
+    def setup_method(self):
+        self.field = Field(2**61 - 1)
+
+    @given(st.integers(0, 1000), st.integers(1, 5), st.integers(0, 3))
+    @settings(max_examples=40)
+    def test_roundtrip(self, secret, threshold, extra):
+        n = threshold + extra
+        shares = shamir_share(
+            secret, threshold, n, self.field, Rng((secret, threshold, n))
+        )
+        assert shamir_reconstruct(shares, threshold, self.field) == secret
+
+    def test_subset_reconstructs(self):
+        shares = shamir_share(77, 3, 6, self.field, Rng(1))
+        assert shamir_reconstruct(shares[2:5], 3, self.field) == 77
+
+    def test_too_few_shares_rejected(self):
+        shares = shamir_share(77, 3, 6, self.field, Rng(1))
+        with pytest.raises(ValueError):
+            shamir_reconstruct(shares[:2], 3, self.field)
+
+    def test_below_threshold_no_information(self):
+        """t-1 shares of different secrets are identically distributed
+        (checked coarsely over a small field)."""
+        from collections import Counter
+
+        field = Field(11)
+        c0 = Counter()
+        c1 = Counter()
+        for k in range(3000):
+            c0[shamir_share(0, 2, 3, field, Rng(("a", k)))[0].y] += 1
+            c1[shamir_share(9, 2, 3, field, Rng(("b", k)))[0].y] += 1
+        # Both marginals should be near-uniform on GF(11).
+        for counter in (c0, c1):
+            assert all(180 <= counter[v] <= 380 for v in range(11))
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            shamir_share(1, 0, 3, self.field, Rng(1))
+        with pytest.raises(ValueError):
+            shamir_share(1, 4, 3, self.field, Rng(1))
+
+    def test_field_too_small(self):
+        with pytest.raises(ValueError):
+            shamir_share(1, 2, 7, Field(7), Rng(1))
+
+
+class TestAuthenticatedSharing:
+    def setup_method(self):
+        self.rng = Rng(b"auth")
+
+    @given(st.integers(0, 2**64 - 1))
+    @settings(max_examples=30)
+    def test_roundtrip_both_directions(self, secret):
+        s1, s2 = deal(secret, Rng(secret))
+        assert reconstruct(s1, s2.wire_message()) == secret
+        assert reconstruct(s2, s1.wire_message()) == secret
+
+    def test_tampered_summand_detected(self):
+        s1, s2 = deal(99, self.rng)
+        summand, t = s2.wire_message()
+        with pytest.raises(ShareVerificationError):
+            reconstruct(s1, (summand + 1, t))
+
+    def test_tampered_tag_detected(self):
+        s1, s2 = deal(99, self.rng)
+        summand, t = s2.wire_message()
+        with pytest.raises(ShareVerificationError):
+            reconstruct(s1, (summand, b"\x00" * len(t)))
+
+    def test_malformed_message_detected(self):
+        s1, _ = deal(99, self.rng)
+        for bad in (None, ("x",), (1, 2), "garbage", (1.5, b"t")):
+            with pytest.raises(ShareVerificationError):
+                reconstruct(s1, bad)
+
+    def test_swapped_shares_detected(self):
+        """A share from a different dealing must not reconstruct."""
+        s1, _ = deal(1, Rng(b"d1"))
+        _, other2 = deal(1, Rng(b"d2"))
+        with pytest.raises(ShareVerificationError):
+            reconstruct(s1, other2.wire_message())
+
+    def test_secret_too_large(self):
+        with pytest.raises(ValueError):
+            deal(1 << 128, self.rng)
+
+    def test_single_summand_reveals_nothing(self):
+        """p1's summand alone is uniform regardless of the secret (checked
+        via low bits)."""
+        from collections import Counter
+
+        counts = Counter(
+            deal(5, Rng(("u", k)))[0].summand % 8 for k in range(4000)
+        )
+        assert all(380 <= counts[v] <= 620 for v in range(8))
+
+
+class TestVss:
+    def setup_method(self):
+        self.rng = Rng(b"vss")
+
+    def test_deal_and_reconstruct(self):
+        shares, keys = vss.deal(1234, 3, 5, self.rng)
+        y = vss.public_reconstruct(shares, keys[0], 3)
+        assert y == 1234
+
+    def test_threshold_minus_one_blocks(self):
+        shares, keys = vss.deal(1234, 3, 5, self.rng)
+        with pytest.raises(vss.VssError):
+            vss.public_reconstruct(shares[:2], keys[0], 3)
+
+    def test_invalid_share_ignored(self):
+        shares, keys = vss.deal(55, 3, 5, self.rng)
+        from dataclasses import replace
+
+        forged = replace(
+            shares[0],
+            share=type(shares[0].share)(shares[0].share.x, shares[0].share.y + 1),
+        )
+        announced = [forged] + list(shares[1:4])
+        # Three valid shares remain -> reconstruction succeeds and is correct.
+        assert vss.public_reconstruct(announced, keys[1], 3) == 55
+
+    def test_all_forged_blocks(self):
+        shares, keys = vss.deal(55, 2, 3, self.rng)
+        garbage = ["x", None, 42]
+        with pytest.raises(vss.VssError):
+            vss.public_reconstruct(garbage, keys[0], 2)
+
+    def test_check_broadcast_share(self):
+        shares, keys = vss.deal(9, 2, 3, self.rng)
+        assert vss.check_broadcast_share(shares[0], keys[2])
+        assert not vss.check_broadcast_share("junk", keys[2])
+
+    def test_duplicate_announcements_deduplicated(self):
+        shares, keys = vss.deal(8, 2, 3, self.rng)
+        announced = [shares[0], shares[0], shares[1]]
+        assert vss.public_reconstruct(announced, keys[0], 2) == 8

@@ -1,0 +1,100 @@
+"""JSON export tests."""
+
+import json
+
+import pytest
+
+from repro.adversaries import LockWatchingAborter, fixed
+from repro.analysis import (
+    assess_protocol,
+    build_order,
+    measure_reconstruction_rounds,
+    save_json,
+    sweep_strategies,
+    to_dict,
+)
+from repro.core import STANDARD_GAMMA, game_from_estimates
+from repro.functions import make_swap
+from repro.protocols import Opt2SfeProtocol, SingleRoundProtocol
+
+
+@pytest.fixture(scope="module")
+def artefacts():
+    swap = make_swap(8)
+    strategies = [
+        fixed("lock0", lambda: LockWatchingAborter({0})),
+        fixed("lock1", lambda: LockWatchingAborter({1})),
+    ]
+    protocols = [Opt2SfeProtocol(swap), SingleRoundProtocol(swap)]
+    assessments = [
+        assess_protocol(p, strategies, STANDARD_GAMMA, 100, seed="exp")
+        for p in protocols
+    ]
+    estimates = []
+    for p in protocols:
+        estimates.extend(
+            sweep_strategies(p, strategies, STANDARD_GAMMA, 100, seed="exp")
+        )
+    return {
+        "assessment": assessments[0],
+        "order": build_order(assessments, tolerance=0.08),
+        "game": game_from_estimates(STANDARD_GAMMA, estimates),
+        "estimate": assessments[0].best_attack,
+        "reconstruction": measure_reconstruction_rounds(
+            protocols[1], n_runs=50, seed="exp"
+        ),
+    }
+
+
+class TestToDict:
+    def test_estimate(self, artefacts):
+        d = to_dict(artefacts["estimate"])
+        assert d["protocol"] == "opt-2sfe[swap8]"
+        assert 0 <= d["mean"] <= 1
+        assert set(d["events"]) <= {"E00", "E01", "E10", "E11"}
+
+    def test_assessment(self, artefacts):
+        d = to_dict(artefacts["assessment"])
+        assert d["gamma"]["gamma10"] == 1.0
+        assert d["best_attack"]["adversary"].startswith("lock")
+
+    def test_order(self, artefacts):
+        d = to_dict(artefacts["order"])
+        assert d["maximal_elements"] == ["opt-2sfe[swap8]"]
+        assert len(d["assessments"]) == 2
+
+    def test_game(self, artefacts):
+        d = to_dict(artefacts["game"])
+        assert d["minimax_protocols"] == ["opt-2sfe[swap8]"]
+        assert "single-round[swap8]" in d["matrix"]
+
+    def test_reconstruction(self, artefacts):
+        d = to_dict(artefacts["reconstruction"])
+        assert d["reconstruction_rounds"] == 1
+
+    def test_gamma(self):
+        assert to_dict(STANDARD_GAMMA)["gamma11"] == 0.5
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            to_dict("not-an-artefact")
+
+
+class TestSaveJson:
+    def test_single_artefact_roundtrip(self, artefacts, tmp_path):
+        path = save_json(artefacts["assessment"], tmp_path / "a.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["protocol"] == "opt-2sfe[swap8]"
+
+    def test_list_of_artefacts(self, artefacts, tmp_path):
+        path = save_json(
+            [artefacts["assessment"], artefacts["estimate"]],
+            tmp_path / "list.json",
+        )
+        loaded = json.loads(path.read_text())
+        assert isinstance(loaded, list) and len(loaded) == 2
+
+    def test_output_is_valid_json(self, artefacts, tmp_path):
+        for key, artefact in artefacts.items():
+            path = save_json(artefact, tmp_path / f"{key}.json")
+            json.loads(path.read_text())  # no exception

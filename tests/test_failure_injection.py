@@ -1,0 +1,175 @@
+"""Failure injection: malicious garbage against every protocol.
+
+The paper's definitions guarantee (except with negligible probability)
+privacy and *correctness*: whatever a malicious party injects, an honest
+party's non-⊥ output is either the true function value or a legitimate
+default-input evaluation — never an attacker-chosen value.  We bombard
+every protocol with malformed payloads at every round and assert exactly
+that invariant.
+"""
+
+import pytest
+
+
+from repro.crypto import Rng
+from repro.engine import Adversary, run_execution
+from repro.engine.party import OUTPUT_DEFAULT
+from repro.functions import make_and, make_concat, make_contract_exchange, make_swap
+from repro.gmw import ThresholdGmwProtocol, gmw_from_spec
+from repro.protocols import (
+    CoinOrderedContractSigning,
+    GordonKatzProtocol,
+    NaiveContractSigning,
+    Opt2SfeProtocol,
+    OptNSfeProtocol,
+    SingleRoundProtocol,
+    UnbalancedOptProtocol,
+)
+
+GARBAGE = [
+    None,
+    "garbage-string",
+    12345,
+    ("tuple", "of", "junk"),
+    (b"\x00" * 16, b"\xff" * 16),
+    ("vss-share", "not-a-share"),
+    ("opt-nsfe-output", ("forged", "sig")),
+    ("gmw-input-shares", {0: 2}),
+]
+
+
+class GarbageSprayer(Adversary):
+    """Corrupts a set of parties and sends a garbage payload to every
+    honest party (and broadcast) in a chosen round, silence otherwise."""
+
+    def __init__(self, corrupt, round_no, payload):
+        self._corrupt = set(corrupt)
+        self.round_no = round_no
+        self.payload = payload
+
+    def initial_corruptions(self, n):
+        return set(self._corrupt)
+
+    def on_round(self, iface):
+        if iface.round != self.round_no:
+            return
+        for i in self._corrupt:
+            for j in range(iface.n):
+                if j not in self._corrupt:
+                    iface.send(i, j, self.payload)
+            iface.broadcast(i, self.payload)
+
+
+def substituted_outputs(protocol, inputs, corrupted):
+    """f with the corrupted positions replaced by default inputs — the
+    ideal-world outcome when corrupted parties refuse to provide input."""
+    substituted = list(inputs)
+    for i in corrupted:
+        substituted[i] = protocol.func.default_inputs[i]
+    return protocol.func.outputs_for(tuple(substituted))
+
+
+def assert_honest_outputs_sound(protocol, inputs, result):
+    """Each honest output is ⊥, a default evaluation, the true value, or
+    the value under ideal-world default substitution of corrupted inputs —
+    never an attacker-chosen one."""
+    true_outputs = protocol.func.outputs_for(inputs)
+    defaulted = substituted_outputs(protocol, inputs, result.corrupted)
+    for i, rec in result.outputs.items():
+        if rec.is_abort or rec.kind == OUTPUT_DEFAULT:
+            continue
+        if protocol.classify_result(result) is not None:
+            # Randomized-abort protocols legitimately output fakes.
+            continue
+        assert rec.value in (true_outputs[i], defaulted[i]), (
+            f"{protocol.name}: honest p{i} output {rec.value!r}, "
+            f"expected {true_outputs[i]!r} or {defaulted[i]!r}"
+        )
+
+
+def spray_protocol(protocol, inputs, corrupt, rounds_to_try):
+    for round_no in rounds_to_try:
+        for payload in GARBAGE:
+            adversary = GarbageSprayer(corrupt, round_no, payload)
+            result = run_execution(
+                protocol,
+                inputs,
+                adversary,
+                Rng(("spray", protocol.name, round_no, str(payload))),
+            )
+            assert_honest_outputs_sound(protocol, inputs, result)
+
+
+class TestTwoPartyProtocols:
+    @pytest.mark.parametrize("corrupt", [0, 1])
+    def test_opt2sfe(self, corrupt):
+        protocol = Opt2SfeProtocol(make_swap(16))
+        spray_protocol(protocol, (3, 9), {corrupt}, range(protocol.max_rounds))
+
+    @pytest.mark.parametrize("corrupt", [0, 1])
+    def test_single_round(self, corrupt):
+        protocol = SingleRoundProtocol(make_swap(16))
+        spray_protocol(protocol, (3, 9), {corrupt}, range(protocol.max_rounds))
+
+    @pytest.mark.parametrize("corrupt", [0, 1])
+    def test_naive_contract(self, corrupt):
+        protocol = NaiveContractSigning(make_contract_exchange(16))
+        spray_protocol(protocol, (3, 9), {corrupt}, range(protocol.max_rounds))
+
+    @pytest.mark.parametrize("corrupt", [0, 1])
+    def test_coin_contract(self, corrupt):
+        protocol = CoinOrderedContractSigning(make_contract_exchange(16))
+        spray_protocol(protocol, (3, 9), {corrupt}, range(protocol.max_rounds))
+
+    @pytest.mark.parametrize("corrupt", [0, 1])
+    def test_gordon_katz_early_rounds(self, corrupt):
+        protocol = GordonKatzProtocol(make_and(), p=2)
+        spray_protocol(protocol, (1, 1), {corrupt}, range(0, 6))
+
+    @pytest.mark.parametrize("corrupt", [0, 1])
+    def test_gmw(self, corrupt):
+        protocol = gmw_from_spec(make_and(), [1, 1])
+        spray_protocol(protocol, (1, 1), {corrupt}, range(protocol.max_rounds))
+
+
+class TestMultiPartyProtocols:
+    def test_opt_nsfe(self):
+        protocol = OptNSfeProtocol(make_concat(4, 8))
+        spray_protocol(
+            protocol, (1, 2, 3, 4), {0}, range(protocol.max_rounds)
+        )
+        spray_protocol(
+            protocol, (1, 2, 3, 4), {0, 1}, range(protocol.max_rounds)
+        )
+
+    def test_threshold_gmw(self):
+        protocol = ThresholdGmwProtocol(make_concat(5, 8))
+        spray_protocol(
+            protocol, (1, 2, 3, 4, 5), {0, 1}, range(protocol.max_rounds)
+        )
+
+    def test_unbalanced_opt(self):
+        protocol = UnbalancedOptProtocol(make_concat(4, 8))
+        spray_protocol(
+            protocol, (1, 2, 3, 4), {1}, range(protocol.max_rounds)
+        )
+
+
+class TestThresholdGmwRobustness:
+    def test_honest_majority_still_reconstructs(self):
+        """Garbage from a minority coalition cannot block or corrupt the
+        honest parties' reconstruction (VSS verifiability)."""
+        protocol = ThresholdGmwProtocol(make_concat(5, 8))
+        inputs = (1, 2, 3, 4, 5)
+        defaulted = substituted_outputs(protocol, inputs, {0, 1})
+        for payload in GARBAGE:
+            adversary = GarbageSprayer({0, 1}, 1, payload)
+            result = run_execution(
+                protocol, inputs, adversary, Rng(("rob", str(payload)))
+            )
+            # The coalition refused its real inputs and shares; the robust
+            # dealer substitutes defaults and the honest n−t = 3 = threshold
+            # shares still reconstruct — garbage is discarded by the MACs.
+            for i, rec in result.outputs.items():
+                assert not rec.is_abort
+                assert rec.value == defaulted[i]

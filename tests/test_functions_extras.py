@@ -1,0 +1,131 @@
+"""Extra function specs + GMW-over-random-functions property test."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries import PassiveAdversary
+from repro.crypto import Rng
+from repro.engine import run_execution
+from repro.functions import (
+    make_max,
+    make_rotate,
+    make_set_intersection,
+    make_set_membership,
+    make_vote,
+)
+from repro.gmw import gmw_from_spec
+
+
+class TestSetIntersection:
+    def test_evaluation(self):
+        f = make_set_intersection(4)
+        assert f.outputs_for((0b1010, 0b0110)) == (0b0010, 0b0010)
+
+    def test_domains_polynomial(self):
+        f = make_set_intersection(4)
+        assert f.has_poly_domain() and f.has_poly_range()
+
+    def test_usable_by_gordon_katz(self):
+        from repro.protocols import GordonKatzProtocol
+
+        protocol = GordonKatzProtocol(make_set_intersection(2), p=2)
+        result = run_execution(
+            protocol, (0b11, 0b01), PassiveAdversary(), Rng(1)
+        )
+        assert result.outputs[0].value == 0b01
+
+    def test_universe_bounds(self):
+        with pytest.raises(ValueError):
+            make_set_intersection(0)
+        with pytest.raises(ValueError):
+            make_set_intersection(20)
+
+
+class TestSetMembership:
+    @given(st.integers(0, 7), st.integers(0, 255))
+    @settings(max_examples=30)
+    def test_evaluation(self, element, mask):
+        f = make_set_membership(8)
+        expected = (mask >> element) & 1
+        assert f.outputs_for((element, mask)) == (expected, expected)
+
+    def test_samples_in_domain(self):
+        f = make_set_membership(8)
+        rng = Rng(2)
+        for _ in range(20):
+            element, mask = f.sample_inputs(rng)
+            assert 0 <= element < 8 and 0 <= mask < 256
+
+
+class TestVote:
+    def test_majority(self):
+        f = make_vote(5)
+        assert f.outputs_for((1, 1, 1, 0, 0))[0] == 1
+        assert f.outputs_for((1, 1, 0, 0, 0))[0] == 0
+
+    def test_tie_resolves_to_zero(self):
+        f = make_vote(4)
+        assert f.outputs_for((1, 1, 0, 0))[0] == 0
+
+    def test_usable_by_opt_nsfe(self):
+        from repro.protocols import OptNSfeProtocol
+
+        protocol = OptNSfeProtocol(make_vote(5))
+        result = run_execution(
+            protocol, (1, 0, 1, 1, 0), PassiveAdversary(), Rng(3)
+        )
+        assert all(rec.value == 1 for rec in result.outputs.values())
+
+
+class TestMax:
+    def test_winner_and_value(self):
+        f = make_max(4, 8)
+        assert f.outputs_for((3, 200, 7, 9))[0] == (1, 200)
+
+    def test_tie_break_lowest_index(self):
+        f = make_max(3, 4)
+        assert f.outputs_for((5, 5, 2))[0] == (0, 5)
+
+
+class TestRotate:
+    def test_private_outputs(self):
+        f = make_rotate(4, 8)
+        assert f.outputs_for((10, 20, 30, 40)) == (20, 30, 40, 10)
+
+    def test_corrupted_output_values(self):
+        f = make_rotate(3, 8)
+        assert f.corrupted_output_values((1, 2, 3), {0, 2}) == {2, 1}
+
+
+class TestGmwOnRandomFunctions:
+    """GMW == cleartext evaluation for randomly tabulated functions —
+    the substrate-correctness property test behind every experiment."""
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 3), st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_random_truth_table(self, table_bits, x1, x2):
+        from repro.functions import make_global
+
+        table = [(table_bits >> i) & 1 for i in range(16)]
+
+        def func(inputs):
+            a, b = inputs
+            return table[(a << 2) | b]
+
+        spec = make_global(
+            "random-table",
+            2,
+            func,
+            (tuple(range(4)), tuple(range(4))),
+            output_bits=1,
+        )
+        protocol = gmw_from_spec(spec, [2, 2])
+        result = run_execution(
+            protocol,
+            (x1, x2),
+            PassiveAdversary(),
+            Rng(("tbl", table_bits, x1, x2)),
+        )
+        assert result.outputs[0].value == func((x1, x2))
+        assert result.outputs[1].value == func((x1, x2))

@@ -1,0 +1,201 @@
+"""GMW protocol tests: correctness, abort behaviour, unfairness profile."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries import (
+    AbortAtRound,
+    LockWatchingAborter,
+    PassiveAdversary,
+)
+from repro.circuits import (
+    and_circuit,
+    majority3_circuit,
+    millionaires_circuit,
+    parity_circuit,
+    xor_circuit,
+)
+from repro.core import STANDARD_GAMMA, FairnessEvent, classify
+from repro.crypto import Rng
+from repro.engine import run_execution
+from repro.functions import make_and, make_global, make_millionaires, make_xor
+from repro.gmw import GmwProtocol, ThresholdGmwProtocol, gmw_from_spec
+from repro.gmw.threshold import reconstruction_threshold
+
+
+class TestGmwCorrectness:
+    @pytest.mark.parametrize("x", [0, 1])
+    @pytest.mark.parametrize("y", [0, 1])
+    def test_and(self, x, y):
+        protocol = GmwProtocol(and_circuit(), [1, 1], make_and())
+        result = run_execution(protocol, (x, y), PassiveAdversary(), Rng((x, y)))
+        assert [r.value for r in result.outputs.values()] == [x & y] * 2
+
+    @pytest.mark.parametrize("x", [0, 1])
+    @pytest.mark.parametrize("y", [0, 1])
+    def test_xor_no_and_layers(self, x, y):
+        protocol = GmwProtocol(xor_circuit(), [1, 1], make_xor())
+        result = run_execution(protocol, (x, y), PassiveAdversary(), Rng((x, y)))
+        assert result.outputs[0].value == x ^ y
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=15, deadline=None)
+    def test_millionaires(self, x, y):
+        spec = make_millionaires(4)
+        protocol = GmwProtocol(millionaires_circuit(4), [4, 4], spec)
+        result = run_execution(protocol, (x, y), PassiveAdversary(), Rng((x, y)))
+        assert result.outputs[0].value == (1 if x > y else 0)
+
+    def test_three_party_majority(self):
+        spec = make_global(
+            "maj3",
+            3,
+            lambda v: int(sum(v) >= 2),
+            ((0, 1), (0, 1), (0, 1)),
+            output_bits=1,
+        )
+        protocol = GmwProtocol(majority3_circuit(), [1, 1, 1], spec)
+        for bits in [(0, 0, 0), (1, 0, 1), (1, 1, 1), (0, 1, 0)]:
+            result = run_execution(
+                protocol, bits, PassiveAdversary(), Rng(bits)
+            )
+            assert result.outputs[0].value == int(sum(bits) >= 2)
+
+    def test_five_party_parity(self):
+        spec = make_global(
+            "par5",
+            5,
+            lambda v: v[0] ^ v[1] ^ v[2] ^ v[3] ^ v[4],
+            tuple((0, 1) for _ in range(5)),
+            output_bits=1,
+        )
+        protocol = GmwProtocol(parity_circuit(5), [1] * 5, spec)
+        bits = (1, 0, 1, 1, 0)
+        result = run_execution(protocol, bits, PassiveAdversary(), Rng(4))
+        assert result.outputs[0].value == 1
+
+    def test_from_spec_compiler(self):
+        protocol = gmw_from_spec(make_and(), [1, 1])
+        result = run_execution(protocol, (1, 1), PassiveAdversary(), Rng(5))
+        assert result.outputs[0].value == 1
+
+    def test_mismatched_widths_rejected(self):
+        with pytest.raises(ValueError):
+            GmwProtocol(and_circuit(), [2, 1], make_and())
+
+
+class TestGmwAdversarial:
+    def setup_method(self):
+        self.protocol = GmwProtocol(and_circuit(), [1, 1], make_and())
+
+    def test_passive_corruption_is_semi_honest(self):
+        result = run_execution(
+            self.protocol, (1, 1), PassiveAdversary({0}), Rng(1)
+        )
+        assert result.outputs[1].value == 1
+        assert result.adversary_claim == 1
+        assert classify(result, make_and()) is FairnessEvent.E11
+
+    def test_lock_watching_is_unfair(self):
+        """GMW's output round concedes E10 to a rushing aborter."""
+        result = run_execution(
+            self.protocol, (1, 1), LockWatchingAborter({0}), Rng(2)
+        )
+        assert result.outputs[1].is_abort
+        assert result.adversary_claim == 1
+        assert classify(result, make_and()) is FairnessEvent.E10
+
+    def test_early_abort_is_fairly_detected(self):
+        """Aborting before the output round denies everyone."""
+        result = run_execution(
+            self.protocol, (1, 1), AbortAtRound({0}, 0, claim=True), Rng(3)
+        )
+        assert result.outputs[1].is_abort
+        event = classify(result, make_and())
+        assert event in (FairnessEvent.E00, FairnessEvent.E01)
+
+    def test_garbage_input_share_aborts(self):
+        from repro.engine import Adversary
+
+        class GarbageSender(Adversary):
+            def initial_corruptions(self, n):
+                return {0}
+
+            def on_round(self, iface):
+                if iface.round == 0:
+                    iface.send(0, 1, "not-a-share-message")
+
+        result = run_execution(self.protocol, (1, 1), GarbageSender(), Rng(4))
+        assert result.outputs[1].is_abort
+
+    def test_ot_refusal_aborts(self):
+        """A corrupted party that skips its OT calls aborts the execution."""
+        result = run_execution(
+            self.protocol, (1, 1), AbortAtRound({0}, 1, claim=False), Rng(5)
+        )
+        assert result.outputs[1].is_abort
+
+
+class TestThresholdGmw:
+    def test_threshold_formula(self):
+        assert reconstruction_threshold(4) == 3
+        assert reconstruction_threshold(5) == 3
+        assert reconstruction_threshold(6) == 4
+        assert reconstruction_threshold(7) == 4
+
+    def _spec(self, n):
+        from repro.functions import make_concat
+
+        return make_concat(n, 8)
+
+    def test_honest_execution(self):
+        protocol = ThresholdGmwProtocol(self._spec(5))
+        inputs = (1, 2, 3, 4, 5)
+        result = run_execution(protocol, inputs, PassiveAdversary(), Rng(1))
+        assert all(r.value == inputs for r in result.outputs.values())
+
+    @pytest.mark.parametrize("n,t,expected", [
+        (5, 1, FairnessEvent.E11),
+        (5, 2, FairnessEvent.E11),
+        (5, 3, FairnessEvent.E10),
+        (5, 4, FairnessEvent.E10),
+        (4, 1, FairnessEvent.E11),
+        (4, 2, FairnessEvent.E10),
+        (4, 3, FairnessEvent.E10),
+        (6, 2, FairnessEvent.E11),
+        (6, 3, FairnessEvent.E10),
+    ])
+    def test_lemma17_event_profile(self, n, t, expected):
+        """Lemma 17: fairness flips exactly at t = ⌈n/2⌉."""
+        spec = self._spec(n)
+        protocol = ThresholdGmwProtocol(spec)
+        inputs = tuple(range(1, n + 1))
+        result = run_execution(
+            protocol, inputs, LockWatchingAborter(set(range(t))), Rng((n, t))
+        )
+        assert classify(result, spec) is expected
+
+    def test_forged_shares_detected(self):
+        """Corrupted parties broadcasting garbage cannot corrupt the
+        reconstructed value for honest parties (VSS verifiability)."""
+        from repro.engine import Adversary
+
+        n = 5
+        spec = self._spec(n)
+        protocol = ThresholdGmwProtocol(spec)
+
+        class ShareForger(Adversary):
+            def initial_corruptions(self, n):
+                return {0}
+
+            def on_round(self, iface):
+                if iface.round == 0:
+                    iface.call_functionality(0, "F_vss_sfe", 1)
+                if iface.round == 1:
+                    iface.broadcast(0, ("vss-share", "garbage"))
+
+        inputs = (1, 2, 3, 4, 5)
+        result = run_execution(protocol, inputs, ShareForger(), Rng(6))
+        for i in range(1, n):
+            assert result.outputs[i].value == inputs

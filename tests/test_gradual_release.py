@@ -1,0 +1,119 @@
+"""Gradual-release strawman tests (the paper's related-work claim:
+bitwise release does not help under the utility-based lens)."""
+
+import pytest
+
+from repro.adversaries import (
+    AbortAtRound,
+    FunctionalityAborter,
+    LockWatchingAborter,
+    PassiveAdversary,
+    fixed,
+)
+from repro.analysis import estimate_utility, measure_reconstruction_rounds
+from repro.core import FairnessEvent, STANDARD_GAMMA, classify
+from repro.crypto import Rng
+from repro.engine import run_execution
+from repro.functions import make_swap
+from repro.protocols import GradualReleaseProtocol
+from repro.protocols.gradual_release import RELEASE_BITS
+
+
+class TestGradualRelease:
+    def setup_method(self):
+        self.protocol = GradualReleaseProtocol(make_swap(16))
+
+    def test_honest_run_correct(self):
+        result = run_execution(
+            self.protocol, (3, 9), PassiveAdversary(), Rng(1)
+        )
+        assert result.outputs[0].value == 9
+        assert result.outputs[1].value == 3
+        assert result.rounds_used == RELEASE_BITS + 3
+
+    @pytest.mark.parametrize("corrupt", [0, 1])
+    def test_rushing_aborter_always_wins(self, corrupt):
+        """The one-bit head start is decisive: γ10 with certainty,
+        matching the introduction's assessment of gradual release."""
+        est = estimate_utility(
+            self.protocol,
+            fixed("lw", lambda: LockWatchingAborter({corrupt})),
+            STANDARD_GAMMA,
+            n_runs=80,
+            seed=("gr", corrupt),
+        )
+        assert est.mean == pytest.approx(STANDARD_GAMMA.gamma10)
+        assert est.event_distribution[FairnessEvent.E10] == 1.0
+
+    def test_no_fairer_than_naive(self):
+        """u(gradual-release) = u(Π1) = γ10: equally unfair."""
+        from repro.analysis import u_naive_contract
+
+        est = estimate_utility(
+            self.protocol,
+            fixed("lw", lambda: LockWatchingAborter({0})),
+            STANDARD_GAMMA,
+            n_runs=60,
+            seed="gr-naive",
+        )
+        assert est.mean == pytest.approx(u_naive_contract(STANDARD_GAMMA))
+
+    def test_phase1_abort_is_safe(self):
+        result = run_execution(
+            self.protocol,
+            (3, 9),
+            FunctionalityAborter({0}, "F_sharegen2"),
+            Rng(2),
+        )
+        assert classify(result, self.protocol.func) is FairnessEvent.E01
+
+    def test_mid_release_abort_denies_honest(self):
+        result = run_execution(
+            self.protocol, (3, 9), AbortAtRound({0}, 4, claim=False), Rng(3)
+        )
+        assert result.outputs[1].is_abort
+
+    def test_final_release_round_is_certainly_unfair(self):
+        measurement = measure_reconstruction_rounds(
+            self.protocol, n_runs=40, seed="gr-rec"
+        )
+        # The event accounting is binary (full output learned or not), so
+        # only the final release round registers as unfair — but there the
+        # rushing adversary wins with certainty, unlike ΠOpt2SFE's 1/2.
+        # (Partial-bit leakage mid-release is exactly the grey zone the
+        # resource-fairness notion [15] prices and this utility does not.)
+        assert measurement.reconstruction_rounds >= 1
+        last_release_round = measurement.honest_rounds - 2
+        assert measurement.unfair_probability[last_release_round] == 1.0
+
+    def test_tampered_bit_detected(self):
+        """Flipping a released bit breaks the summand MAC: honest ⊥,
+        never a wrong output."""
+        from repro.engine import Adversary
+
+        class BitFlipper(Adversary):
+            def initial_corruptions(self, n):
+                return {0}
+
+            def on_round(self, iface):
+                runner = getattr(self, "_runner", None)
+                if runner is None:
+                    from repro.adversaries.base import MachineDrivingAdversary
+
+                # Drive honestly by replaying the machine, but flip bit 3.
+                # (Simpler: send a wrong bit at release round 3 and
+                # nothing else — the honest party detects at reconstruct.)
+                if iface.round == 0:
+                    iface.call_functionality(0, "F_sharegen2", 3)
+                elif iface.round == 5:
+                    iface.send(0, 1, ("gr-bit", 1))
+
+        result = run_execution(self.protocol, (3, 9), BitFlipper(), Rng(4))
+        rec = result.outputs[1]
+        assert rec.is_abort or rec.kind == "default" or rec.value == 3
+
+    def test_two_party_only(self):
+        from repro.functions import make_concat
+
+        with pytest.raises(ValueError):
+            GradualReleaseProtocol(make_concat(3, 8))

@@ -1,0 +1,146 @@
+"""Application-level integration: the extra functions through the full
+fairness pipeline (the workloads the examples build on)."""
+
+import pytest
+
+from repro.adversaries import LockWatchingAborter, PassiveAdversary, fixed
+from repro.analysis import (
+    balance_profile,
+    estimate_utility,
+    measure_cost,
+    u_opt_nsfe,
+)
+from repro.core import (
+    STANDARD_GAMMA,
+    balanced_sum_bound,
+    is_utility_balanced,
+    monte_carlo_tolerance,
+)
+from repro.crypto import Rng
+from repro.engine import run_execution
+from repro.functions import (
+    make_max,
+    make_public_version,
+    make_rotate,
+    make_set_intersection,
+    make_vote,
+)
+from repro.gmw import ThresholdGmwProtocol
+from repro.protocols import GordonKatzProtocol, Opt2SfeProtocol, OptNSfeProtocol
+
+
+class TestAuctionPipeline:
+    """The sealed-bid auction example's workload (max over bids)."""
+
+    def setup_method(self):
+        self.n = 4
+        self.func = make_max(self.n, 6)
+        self.protocol = OptNSfeProtocol(self.func)
+
+    def test_correctness(self):
+        result = run_execution(
+            self.protocol, (10, 55, 7, 31), PassiveAdversary(), Rng(1)
+        )
+        assert all(rec.value == (1, 55) for rec in result.outputs.values())
+
+    def test_balance_profile(self):
+        factories = {
+            t: [fixed(f"c{t}", lambda t=t: LockWatchingAborter(set(range(t))))]
+            for t in range(1, self.n)
+        }
+        profile = balance_profile(
+            self.protocol, factories, STANDARD_GAMMA, n_runs=250, seed="auc"
+        )
+        tol = (self.n - 1) * monte_carlo_tolerance(250)
+        assert is_utility_balanced(profile, tol=tol)
+        for t in range(1, self.n):
+            assert profile.per_t[t].mean == pytest.approx(
+                u_opt_nsfe(STANDARD_GAMMA, self.n, t), abs=0.1
+            )
+
+
+class TestVotePipeline:
+    def test_threshold_gmw_on_vote(self):
+        func = make_vote(5)
+        protocol = ThresholdGmwProtocol(func)
+        result = run_execution(
+            protocol, (1, 1, 1, 0, 0), PassiveAdversary(), Rng(2)
+        )
+        assert all(rec.value == 1 for rec in result.outputs.values())
+
+    def test_minority_coalition_cannot_cheat_vote(self):
+        func = make_vote(5)
+        protocol = ThresholdGmwProtocol(func)
+        est = estimate_utility(
+            protocol,
+            fixed("c2", lambda: LockWatchingAborter({0, 1})),
+            STANDARD_GAMMA,
+            n_runs=100,
+            seed="vote",
+        )
+        assert est.mean == pytest.approx(STANDARD_GAMMA.gamma11)
+
+
+class TestPsiPipeline:
+    """Private set intersection under both fairness regimes."""
+
+    def test_opt2sfe_on_psi(self):
+        func = make_set_intersection(4)
+        protocol = Opt2SfeProtocol(func)
+        result = run_execution(
+            protocol, (0b1100, 0b1010), PassiveAdversary(), Rng(3)
+        )
+        assert result.outputs[0].value == 0b1000
+
+    def test_opt2sfe_psi_fairness(self):
+        func = make_set_intersection(4)
+        est = estimate_utility(
+            Opt2SfeProtocol(func),
+            fixed("l1", lambda: LockWatchingAborter({1})),
+            STANDARD_GAMMA,
+            n_runs=300,
+            seed="psi",
+        )
+        assert est.mean == pytest.approx(0.75, abs=0.09)
+
+    def test_gk_on_psi_small_universe(self):
+        func = make_set_intersection(2)
+        protocol = GordonKatzProtocol(func, p=2)
+        result = run_execution(
+            protocol, (0b11, 0b10), PassiveAdversary(), Rng(4)
+        )
+        assert result.outputs[0].value == 0b10
+
+    def test_gk_round_cost_scales_with_universe(self):
+        small = GordonKatzProtocol(make_set_intersection(1), p=2)
+        large = GordonKatzProtocol(make_set_intersection(3), p=2)
+        assert large.reveal_rounds > small.reveal_rounds
+
+
+class TestPrivateRotationPipeline:
+    """The Appendix-B transform end to end with an attack."""
+
+    def test_lifted_rotation_fairness(self):
+        base = make_rotate(2, 8)
+        pub = make_public_version(base)
+        est = estimate_utility(
+            Opt2SfeProtocol(pub),
+            fixed("l0", lambda: LockWatchingAborter({0})),
+            STANDARD_GAMMA,
+            n_runs=250,
+            seed="rot",
+        )
+        assert est.mean == pytest.approx(0.75, abs=0.1)
+
+    def test_cost_of_lifting_is_free(self):
+        """The OTP transform adds no rounds or messages."""
+        base_cost = measure_cost(
+            Opt2SfeProtocol(make_rotate(2, 8)), n_runs=3, seed="c1"
+        )
+        lifted_cost = measure_cost(
+            Opt2SfeProtocol(make_public_version(make_rotate(2, 8))),
+            n_runs=3,
+            seed="c2",
+        )
+        assert lifted_cost.rounds == base_cost.rounds
+        assert lifted_cost.total_messages == base_cost.total_messages

@@ -1,0 +1,144 @@
+"""Private-output transform tests (paper Appendix B)."""
+
+import pytest
+
+from repro.crypto import Rng
+from repro.functions import (
+    augment_input,
+    blind_private_outputs,
+    make_public_version,
+    make_rotate,
+    make_swap,
+    pack_blinded,
+    recover_private_output,
+    unblind_component,
+    unpack_blinded,
+)
+
+
+class TestTransform:
+    def setup_method(self):
+        self.func = make_swap(16)
+        self.width = self.func.output_bits
+        self.rng = Rng(b"priv")
+
+    def _augmented(self, xs):
+        return tuple(
+            augment_input(x, self.width, self.rng.fork(f"k{i}"))
+            for i, x in enumerate(xs)
+        )
+
+    def test_each_party_recovers_its_component(self):
+        augmented = self._augmented((3, 9))
+        blinded = blind_private_outputs(self.func, augmented, self.width)
+        true = self.func.outputs_for((3, 9))
+        for i in range(2):
+            _, key = augmented[i]
+            assert unblind_component(blinded, i, key, self.width) == true[i]
+
+    def test_other_components_are_blinded(self):
+        """Without pj's key, component j is a one-time-pad ciphertext:
+        over random keys it is uniform."""
+        from collections import Counter
+
+        counts = Counter()
+        for k in range(2000):
+            rng = Rng(("blind", k))
+            augmented = (
+                augment_input(3, 3, rng.fork("a")),
+                augment_input(5, 3, rng.fork("b")),
+            )
+            func = make_swap(3)
+            blinded = blind_private_outputs(func, augmented, 3)
+            counts[blinded[1]] += 1  # p1's view of p2's component
+        assert set(counts) == set(range(8))
+        assert all(150 <= c <= 350 for c in counts.values())
+
+    def test_malformed_augmented_inputs(self):
+        with pytest.raises(ValueError):
+            blind_private_outputs(self.func, (3, 9), self.width)
+        with pytest.raises(ValueError):
+            blind_private_outputs(self.func, ((3, 0),), self.width)
+
+
+class TestPacking:
+    def test_pack_roundtrip(self):
+        vector = (5, 200, 17)
+        assert unpack_blinded(pack_blinded(vector, 8), 3, 8) == vector
+
+
+class TestPublicVersionSpec:
+    def test_global_output_everywhere(self):
+        pub = make_public_version(make_swap(8))
+        inputs = pub.sample_inputs(Rng(1))
+        outputs = pub.outputs_for(inputs)
+        assert outputs[0] == outputs[1]  # public: identical for all
+
+    def test_recovery_through_spec(self):
+        base = make_swap(8)
+        pub = make_public_version(base)
+        inputs = pub.sample_inputs(Rng(2))
+        packed = pub.outputs_for(inputs)[0]
+        xs = tuple(pair[0] for pair in inputs)
+        true = base.outputs_for(xs)
+        for i in range(2):
+            _, key = inputs[i]
+            assert recover_private_output(packed, i, key, base) == true[i]
+
+    def test_usable_by_opt2sfe(self):
+        """ΠOpt2SFE evaluates the lifted f' end-to-end: each party ends
+        with the packed blinded vector from which only its own component
+        opens."""
+        from repro.adversaries import PassiveAdversary
+        from repro.engine import run_execution
+        from repro.protocols import Opt2SfeProtocol
+
+        base = make_swap(8)
+        pub = make_public_version(base)
+        protocol = Opt2SfeProtocol(pub)
+        rng = Rng(3)
+        inputs = pub.sample_inputs(rng)
+        result = run_execution(protocol, inputs, PassiveAdversary(), rng.fork("x"))
+        xs = tuple(pair[0] for pair in inputs)
+        true = base.outputs_for(xs)
+        for i in range(2):
+            packed = result.outputs[i].value
+            _, key = inputs[i]
+            assert recover_private_output(packed, i, key, base) == true[i]
+
+    def test_usable_by_opt_nsfe(self):
+        from repro.adversaries import PassiveAdversary
+        from repro.engine import run_execution
+        from repro.protocols import OptNSfeProtocol
+
+        base = make_rotate(3, 8)
+        pub = make_public_version(base)
+        protocol = OptNSfeProtocol(pub)
+        rng = Rng(4)
+        inputs = pub.sample_inputs(rng)
+        result = run_execution(protocol, inputs, PassiveAdversary(), rng.fork("x"))
+        xs = tuple(pair[0] for pair in inputs)
+        true = base.outputs_for(xs)
+        for i in range(3):
+            packed = result.outputs[i].value
+            _, key = inputs[i]
+            assert recover_private_output(packed, i, key, base) == true[i]
+
+    def test_fairness_preserved_on_lifted_function(self):
+        """Lock-watching against ΠOpt2SFE on the lifted f' still yields the
+        Theorem-3 split — the transform does not change the analysis."""
+        from repro.adversaries import LockWatchingAborter, fixed
+        from repro.analysis import estimate_utility
+        from repro.core import STANDARD_GAMMA
+
+        from repro.protocols import Opt2SfeProtocol
+
+        pub = make_public_version(make_swap(8))
+        est = estimate_utility(
+            Opt2SfeProtocol(pub),
+            fixed("l0", lambda: LockWatchingAborter({0})),
+            STANDARD_GAMMA,
+            n_runs=300,
+            seed="lifted",
+        )
+        assert est.mean == pytest.approx(0.75, abs=0.09)

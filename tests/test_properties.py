@@ -1,0 +1,101 @@
+"""Cross-cutting property-based tests on engine and framework invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversaries import (
+    AbortAtRound,
+    LockWatchingAborter,
+    PassiveAdversary,
+)
+from repro.core import FairnessEvent, classify
+from repro.core.events import adversary_learned_output, honest_learned_output
+from repro.crypto import Rng
+from repro.engine import run_execution
+from repro.functions import make_swap
+from repro.protocols import Opt2SfeProtocol
+
+
+PROTOCOL = Opt2SfeProtocol(make_swap(12))
+
+
+def run_once(seed, adversary):
+    rng = Rng(seed)
+    inputs = PROTOCOL.func.sample_inputs(rng.fork("in"))
+    return inputs, run_execution(PROTOCOL, inputs, adversary, rng.fork("x"))
+
+
+class TestDeterminism:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_same_seed_same_execution(self, seed):
+        _, a = run_once(seed, LockWatchingAborter({0}))
+        _, b = run_once(seed, LockWatchingAborter({0}))
+        assert a.outputs == b.outputs
+        assert a.adversary_claim == b.adversary_claim
+        assert a.rounds_used == b.rounds_used
+        assert classify(a, PROTOCOL.func) is classify(b, PROTOCOL.func)
+
+
+class TestClassificationTotality:
+    @given(
+        st.integers(0, 10_000),
+        st.sampled_from([frozenset({0}), frozenset({1})]),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_every_execution_classifies(self, seed, corrupt, abort_round):
+        adversary = AbortAtRound(set(corrupt), abort_round)
+        inputs, result = run_once(seed, adversary)
+        event = classify(result, PROTOCOL.func)
+        assert isinstance(event, FairnessEvent)
+        # Consistency between the event bits and the raw predicates.
+        assert event.adversary_learned == adversary_learned_output(
+            result, PROTOCOL.func
+        )
+        assert event.honest_learned == honest_learned_output(
+            result, PROTOCOL.func
+        )
+
+
+class TestTranscriptInvariants:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_rounds_monotone_and_senders_valid(self, seed):
+        _, result = run_once(seed, PassiveAdversary({1}))
+        last_round = -1
+        for message in result.transcript:
+            assert message.round >= 0
+            last_round = max(last_round, message.round)
+            if isinstance(message.sender, int):
+                assert 0 <= message.sender < result.n
+        assert last_round < result.rounds_used
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_aborted_adversary_sends_nothing_after_abort(self, seed):
+        adversary = AbortAtRound({0}, 1, claim=False)
+        _, result = run_once(seed, adversary)
+        for message in result.transcript:
+            if message.sender == 0:
+                assert message.round < 1
+
+
+class TestEventAlgebra:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_passive_is_always_fair(self, seed):
+        """An honest-but-curious adversary never produces E10 or E00."""
+        _, result = run_once(seed, PassiveAdversary({0}))
+        assert classify(result, PROTOCOL.func) is FairnessEvent.E11
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_lock_watching_never_loses(self, seed):
+        """The lock-watcher never ends in E01/E00: it either wins (E10) or
+        everyone learns (E11) — the Theorem-3 case split."""
+        _, result = run_once(seed, LockWatchingAborter({1}))
+        assert classify(result, PROTOCOL.func) in (
+            FairnessEvent.E10,
+            FairnessEvent.E11,
+        )

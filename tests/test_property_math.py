@@ -1,0 +1,137 @@
+"""Property-based tests on the core mathematics (hypothesis)."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PayoffVector,
+    balanced_sum_bound,
+    game_from_estimates,
+    per_t_bound,
+)
+from repro.core.attack_game import AttackGame
+from repro.core.corruption_cost import dominates, strictly_dominates
+from repro.core.utility import UtilityEstimate
+
+
+def gamma_plus_strategy():
+    """Random Γ+fair vectors."""
+    return st.tuples(
+        st.floats(0.0, 0.5),  # γ00
+        st.floats(0.5, 1.0),  # γ11 (>= γ00 by construction below)
+        st.floats(1.01, 3.0),  # γ10
+    ).map(lambda t: PayoffVector(min(t[0], t[1]), 0.0, max(t[2], t[1] + 0.01), t[1]))
+
+
+class TestBoundsAlgebra:
+    @given(gamma_plus_strategy(), st.integers(2, 9))
+    @settings(max_examples=40)
+    def test_per_t_sums_to_balance_bound(self, gamma, n):
+        assume(gamma.in_gamma_fair_plus())
+        total = sum(per_t_bound(n, t, gamma) for t in range(1, n))
+        assert abs(total - balanced_sum_bound(n, gamma)) < 1e-9
+
+    @given(gamma_plus_strategy(), st.integers(3, 9))
+    @settings(max_examples=40)
+    def test_per_t_monotone_in_t(self, gamma, n):
+        assume(gamma.in_gamma_fair_plus())
+        values = [per_t_bound(n, t, gamma) for t in range(1, n)]
+        assert values == sorted(values)
+
+    @given(gamma_plus_strategy(), st.integers(2, 9))
+    @settings(max_examples=40)
+    def test_per_t_between_gamma11_and_gamma10(self, gamma, n):
+        assume(gamma.in_gamma_fair_plus())
+        for t in range(1, n):
+            value = per_t_bound(n, t, gamma)
+            assert gamma.gamma11 - 1e-9 <= value <= gamma.gamma10 + 1e-9
+
+
+class TestDominanceOrder:
+    @given(st.lists(st.floats(0, 1), min_size=4, max_size=4))
+    @settings(max_examples=30)
+    def test_reflexive_weak_irreflexive_strict(self, values):
+        cost = lambda t: values[t - 1]
+        assert dominates(cost, cost, 4)
+        assert not strictly_dominates(cost, cost, 4)
+
+    @given(
+        st.lists(st.floats(0, 1), min_size=4, max_size=4),
+        st.floats(0.01, 1.0),
+    )
+    @settings(max_examples=30)
+    def test_uniform_shift_strictly_dominates(self, values, shift):
+        low = lambda t: values[t - 1]
+        high = lambda t: values[t - 1] + shift
+        assert strictly_dominates(high, low, 4)
+        assert not dominates(low, high, 4, tol=0.0) or shift < 1e-12
+
+    @given(
+        st.lists(st.floats(0, 1), min_size=3, max_size=3),
+        st.lists(st.floats(0, 1), min_size=3, max_size=3),
+    )
+    @settings(max_examples=30)
+    def test_antisymmetry_of_strict_dominance(self, a_values, b_values):
+        a = lambda t: a_values[t - 1]
+        b = lambda t: b_values[t - 1]
+        assert not (strictly_dominates(a, b, 3) and strictly_dominates(b, a, 3))
+
+
+def _estimate(protocol, adversary, mean):
+    return UtilityEstimate(
+        mean=mean, ci_low=mean, ci_high=mean, n_runs=100,
+        event_distribution={}, protocol=protocol, adversary=adversary,
+    )
+
+
+class TestGameInvariants:
+    @given(
+        st.dictionaries(
+            st.sampled_from(["p1", "p2", "p3"]),
+            st.dictionaries(
+                st.sampled_from(["a", "b", "c"]),
+                st.floats(0, 2),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=40)
+    def test_game_value_le_every_best_response(self, matrix):
+        from repro.core import STANDARD_GAMMA
+
+        game = AttackGame(STANDARD_GAMMA, matrix)
+        value = game.game_value()
+        for protocol in matrix:
+            assert value <= game.attacker_value(protocol) + 1e-12
+        assert game.minimax_protocols()  # non-empty
+
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=2, max_size=2),
+        st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=30)
+    def test_mixture_value_is_convex_combination(self, values, weight):
+        from repro.core import STANDARD_GAMMA
+
+        matrix = {"p1": {"a": values[0]}, "p2": {"a": values[1]}}
+        game = AttackGame(STANDARD_GAMMA, matrix)
+        mixed = game.mixture_value({"p1": weight, "p2": 1 - weight})
+        lo, hi = min(values), max(values)
+        assert lo - 1e-12 <= mixed <= hi + 1e-12
+        assert mixed >= game.game_value() - 1e-12
+
+
+class TestEstimateAggregation:
+    @given(st.lists(st.floats(0, 1), min_size=1, max_size=6))
+    @settings(max_examples=30)
+    def test_game_from_estimates_preserves_matrix(self, means):
+        from repro.core import STANDARD_GAMMA
+
+        estimates = [
+            _estimate("p", f"adv{i}", m) for i, m in enumerate(means)
+        ]
+        game = game_from_estimates(STANDARD_GAMMA, estimates)
+        assert game.attacker_value("p") == max(means)

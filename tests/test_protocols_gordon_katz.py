@@ -1,0 +1,248 @@
+"""Gordon–Katz 1/p protocols and the leaky Π̃ (paper §5, Appendix C)."""
+
+import pytest
+
+from repro.adversaries import (
+    FixedRoundStopper,
+    KnownOutputStopper,
+    LeakyInputExtractor,
+    PassiveAdversary,
+)
+from repro.core import FairnessEvent
+from repro.crypto import Rng
+from repro.engine import run_execution
+from repro.functions import make_and, make_millionaires, make_swap
+from repro.protocols import GordonKatzProtocol, LeakyAndProtocol
+from repro.protocols.gordon_katz import classify_gk
+
+
+class TestGordonKatzConstruction:
+    def test_round_counts_scale_with_p(self):
+        rounds = [
+            GordonKatzProtocol(make_and(), p).reveal_rounds for p in (2, 4, 8)
+        ]
+        assert rounds[1] == 2 * rounds[0]
+        assert rounds[2] == 4 * rounds[0]
+
+    def test_range_variant_rounds_scale_quadratically(self):
+        rounds = [
+            GordonKatzProtocol(make_and(), p, variant="range").reveal_rounds
+            for p in (2, 4)
+        ]
+        assert rounds[1] == 4 * rounds[0]
+
+    def test_alpha_formulas(self):
+        domain = GordonKatzProtocol(make_and(), 4, variant="domain")
+        assert domain.alpha == pytest.approx(1 / (4 * 2))
+        rng = GordonKatzProtocol(make_and(), 4, variant="range")
+        assert rng.alpha == pytest.approx(1 / (16 * 2))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GordonKatzProtocol(make_and(), 1)
+        with pytest.raises(ValueError):
+            GordonKatzProtocol(make_and(), 2, variant="bogus")
+        from repro.functions import make_concat
+
+        with pytest.raises(ValueError):
+            GordonKatzProtocol(make_concat(3, 4), 2)
+
+    def test_exponential_domain_rejected(self):
+        with pytest.raises(ValueError):
+            GordonKatzProtocol(make_swap(16), 2)
+
+
+class TestGordonKatzExecution:
+    def setup_method(self):
+        self.protocol = GordonKatzProtocol(make_and(), p=2)
+
+    @pytest.mark.parametrize("x", [0, 1])
+    @pytest.mark.parametrize("y", [0, 1])
+    def test_honest_runs_are_correct(self, x, y):
+        result = run_execution(
+            self.protocol, (x, y), PassiveAdversary(), Rng((x, y))
+        )
+        assert result.outputs[0].value == x & y
+        assert result.outputs[1].value == x & y
+
+    def test_millionaires_domain_variant(self):
+        protocol = GordonKatzProtocol(make_millionaires(3), p=2)
+        result = run_execution(protocol, (5, 2), PassiveAdversary(), Rng(1))
+        assert result.outputs[0].value == 1
+
+    def test_early_abort_gives_fake_output(self):
+        """Aborting at the first reveal leaves the honest party with a
+        value drawn from the fake distribution (Fsfe$ semantics)."""
+        from collections import Counter
+
+        seen = Counter()
+        for k in range(120):
+            result = run_execution(
+                self.protocol,
+                (1, 1),
+                FixedRoundStopper(0, stop_index=0),
+                Rng(("abort", k)),
+            )
+            seen[result.outputs[1].value] += 1
+        assert set(seen) == {0, 1}  # f(X̂, 1) = X̂ is uniform
+
+    def test_white_box_classifier_uses_i_star(self):
+        result = run_execution(
+            self.protocol, (1, 1), FixedRoundStopper(0, stop_index=0), Rng(7)
+        )
+        event = self.protocol.classify_result(result)
+        i_star = self.protocol._last_sharegen.i_star
+        if i_star == 1:
+            assert event in (FairnessEvent.E10, FairnessEvent.E11)
+        else:
+            assert event in (FairnessEvent.E00, FairnessEvent.E01)
+
+    def test_classifier_falls_back_without_corruption(self):
+        result = run_execution(self.protocol, (1, 1), PassiveAdversary(), Rng(8))
+        assert self.protocol.classify_result(result) is None
+
+    def test_fixed_stopper_rarely_wins(self):
+        """Pr[E10] for a fixed stop is the geometric pmf ≤ α."""
+        hits = 0
+        runs = 300
+        for k in range(runs):
+            result = run_execution(
+                self.protocol,
+                (1, 1),
+                FixedRoundStopper(0, stop_index=3),
+                Rng(("fx", k)),
+            )
+            if self.protocol.classify_result(result) is FairnessEvent.E10:
+                hits += 1
+        # alpha = 1/4; pmf at index 3 = 0.25 * 0.75^3 ≈ 0.105; E10 further
+        # requires the honest fake to miss (×0.5) ⇒ ≈ 0.053.
+        assert hits / runs <= 0.13
+
+    def test_known_output_stopper_bounded_by_1_over_p(self):
+        for p in (2, 4):
+            protocol = GordonKatzProtocol(make_and(), p=p)
+            hits = 0
+            runs = 300
+            for k in range(runs):
+                result = run_execution(
+                    protocol,
+                    (1, 1),
+                    KnownOutputStopper(0, known_output=1),
+                    Rng(("ko", p, k)),
+                )
+                if protocol.classify_result(result) is FairnessEvent.E10:
+                    hits += 1
+            assert hits / runs <= 1 / p + 0.07
+
+
+class TestGordonKatzRangeVariant:
+    """Execution coverage for the poly-range construction (Theorem 24)."""
+
+    def setup_method(self):
+        self.protocol = GordonKatzProtocol(make_and(), p=2, variant="range")
+
+    @pytest.mark.parametrize("x", [0, 1])
+    @pytest.mark.parametrize("y", [0, 1])
+    def test_honest_runs_are_correct(self, x, y):
+        result = run_execution(
+            self.protocol, (x, y), PassiveAdversary(), Rng(("rg", x, y))
+        )
+        assert result.outputs[0].value == x & y
+        assert result.outputs[1].value == x & y
+
+    def test_fakes_are_uniform_range_elements(self):
+        """Aborting at the first reveal leaves a uniform range element."""
+        from collections import Counter
+
+        seen = Counter()
+        for k in range(150):
+            result = run_execution(
+                self.protocol,
+                (1, 1),
+                FixedRoundStopper(0, stop_index=0),
+                Rng(("rgf", k)),
+            )
+            seen[result.outputs[1].value] += 1
+        assert set(seen) == {0, 1}
+        assert 45 <= seen[1] <= 105  # ≈ uniform over {0, 1}
+
+    def test_known_output_stopper_bounded(self):
+        hits = 0
+        runs = 250
+        for k in range(runs):
+            result = run_execution(
+                self.protocol,
+                (1, 1),
+                KnownOutputStopper(0, known_output=1),
+                Rng(("rgk", k)),
+            )
+            if self.protocol.classify_result(result) is FairnessEvent.E10:
+                hits += 1
+        assert hits / runs <= 1 / self.protocol.p + 0.05
+
+    def test_alpha_smaller_than_domain_variant(self):
+        domain = GordonKatzProtocol(make_and(), p=2, variant="domain")
+        assert self.protocol.alpha < domain.alpha
+
+
+class TestLeakyProtocol:
+    def test_honest_run_computes_and(self):
+        protocol = LeakyAndProtocol()
+        for x1, x2 in [(0, 0), (0, 1), (1, 0), (1, 1)]:
+            result = run_execution(
+                protocol, (x1, x2), PassiveAdversary(), Rng((x1, x2))
+            )
+            assert result.outputs[0].value == x1 & x2
+            assert result.outputs[1].value == x1 & x2
+
+    def test_honest_p2_never_triggers_leak(self):
+        protocol = LeakyAndProtocol()
+        result = run_execution(protocol, (1, 1), PassiveAdversary(), Rng(5))
+        leaks = [
+            m
+            for m in result.transcript
+            if isinstance(m.payload, tuple)
+            and len(m.payload) == 2
+            and m.payload[0] == "leak"
+        ]
+        assert leaks == []
+
+    def test_deviating_p2_extracts_input_quarter_of_the_time(self):
+        protocol = LeakyAndProtocol()
+        extracted = 0
+        runs = 400
+        for k in range(runs):
+            adversary = LeakyInputExtractor()
+            run_execution(protocol, (1, 0), adversary, Rng(("leak", k)))
+            if adversary.extracted_input is not None:
+                extracted += 1
+        assert abs(extracted / runs - 0.25) < 0.07
+
+    def test_extracted_value_is_the_real_input(self):
+        protocol = LeakyAndProtocol()
+        values = set()
+        for k in range(200):
+            adversary = LeakyInputExtractor()
+            run_execution(protocol, (1, 0), adversary, Rng(("lv", k)))
+            if adversary.extracted_input is not None:
+                values.add(adversary.extracted_input)
+        assert values == {1}
+
+
+class TestClassifyGkHelper:
+    def test_missing_sharegen_falls_back(self):
+        assert classify_gk(None_result(), make_and(), None) is None
+
+
+def None_result():
+    from repro.engine.execution import ExecutionResult
+
+    return ExecutionResult(
+        protocol_name="x",
+        n=2,
+        inputs=(1, 1),
+        outputs={},
+        corrupted={0},
+        adversary_claim=None,
+        rounds_used=1,
+    )

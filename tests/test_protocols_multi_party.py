@@ -1,0 +1,173 @@
+"""Multi-party protocol behaviour: ΠOptnSFE, unbalanced-opt, Π′."""
+
+import pytest
+
+from repro.adversaries import (
+    AbortAtRound,
+    FunctionalityAborter,
+    LockWatchingAborter,
+    PassiveAdversary,
+    SignalDeviator,
+    a_bar_i,
+    a_bar_nt,
+    a_hat_t,
+)
+from repro.core import FairnessEvent, classify
+from repro.crypto import Rng
+from repro.engine import run_execution
+from repro.functions import make_concat
+from repro.gmw import ThresholdGmwProtocol
+from repro.protocols import (
+    OptNSfeProtocol,
+    UnbalancedOptProtocol,
+    make_hybrid_balanced,
+)
+
+
+def event_fractions(protocol, adversary_factory, n_runs=200, seed=0):
+    from collections import Counter
+
+    master = Rng(seed)
+    counts = Counter()
+    for k in range(n_runs):
+        rng = master.fork(f"run-{k}")
+        inputs = protocol.func.sample_inputs(rng.fork("in"))
+        result = run_execution(
+            protocol, inputs, adversary_factory(), rng.fork("x")
+        )
+        counts[classify(result, protocol.func)] += 1
+    return {e: c / n_runs for e, c in counts.items()}
+
+
+class TestOptNSfe:
+    def setup_method(self):
+        self.n = 5
+        self.func = make_concat(self.n, 8)
+        self.protocol = OptNSfeProtocol(self.func)
+
+    def test_honest_run(self):
+        inputs = (1, 2, 3, 4, 5)
+        result = run_execution(self.protocol, inputs, PassiveAdversary(), Rng(1))
+        assert all(r.value == inputs for r in result.outputs.values())
+
+    @pytest.mark.parametrize("t", [1, 2, 3, 4])
+    def test_lemma11_e10_fraction_is_t_over_n(self, t):
+        fractions = event_fractions(
+            self.protocol,
+            lambda: LockWatchingAborter(set(range(t))),
+            n_runs=400,
+        )
+        expected = t / self.n
+        assert abs(fractions.get(FairnessEvent.E10, 0) - expected) < 0.09
+        # Everything else completes fairly.
+        assert (
+            fractions.get(FairnessEvent.E10, 0)
+            + fractions.get(FairnessEvent.E11, 0)
+            == pytest.approx(1.0)
+        )
+
+    def test_phase1_abort_aborts_everyone(self):
+        fractions = event_fractions(
+            self.protocol,
+            lambda: FunctionalityAborter({0}, "F_priv_sfe"),
+            n_runs=100,
+        )
+        # Aborting the hybrid after asking: E10 when p0 drew i*, E00 else.
+        assert fractions.get(FairnessEvent.E01, 0) == 0
+        assert (
+            fractions.get(FairnessEvent.E00, 0)
+            + fractions.get(FairnessEvent.E10, 0)
+            == pytest.approx(1.0)
+        )
+
+    def test_forged_broadcast_rejected(self):
+        """An adversary cannot make honest parties adopt an unsigned value."""
+        from repro.engine import Adversary
+
+        class Forger(Adversary):
+            def initial_corruptions(self, n):
+                return {0}
+
+            def on_round(self, iface):
+                if iface.round == 0:
+                    iface.call_functionality(0, "F_priv_sfe", 7)
+                if iface.round == 1:
+                    iface.broadcast(0, ("opt-nsfe-output", ((9, 9, 9, 9, 9), "bad-sig")))
+
+        inputs = (1, 2, 3, 4, 5)
+        result = run_execution(self.protocol, inputs, Forger(), Rng(2))
+        for i in range(1, 5):
+            rec = result.outputs[i]
+            assert rec.is_abort or rec.value == inputs
+
+    def test_a_bar_i_strategies(self):
+        """Aī (corrupt all but pi) obtains E10 with probability (n−1)/n."""
+        fractions = event_fractions(
+            self.protocol, lambda: a_bar_i(self.n, 0), n_runs=300
+        )
+        assert abs(fractions.get(FairnessEvent.E10, 0) - 4 / 5) < 0.08
+
+
+class TestUnbalancedOpt:
+    def setup_method(self):
+        self.n = 4
+        self.func = make_concat(self.n, 8)
+        self.protocol = UnbalancedOptProtocol(self.func)
+
+    def test_honest_run(self):
+        inputs = (1, 2, 3, 4)
+        result = run_execution(self.protocol, inputs, PassiveAdversary(), Rng(1))
+        assert all(r.value == inputs for r in result.outputs.values())
+
+    def test_lock_watching_matches_opt_nsfe_profile(self):
+        fractions = event_fractions(
+            self.protocol, lambda: LockWatchingAborter({0}), n_runs=400
+        )
+        assert abs(fractions.get(FairnessEvent.E10, 0) - 1 / 4) < 0.08
+
+    def test_signal_deviator_boosts_single_corruption(self):
+        """Lemma 18: the deviating 1-adversary reaches
+        Pr[E10] = 1/n + (n−1)/n · 1/2."""
+        fractions = event_fractions(
+            self.protocol, lambda: SignalDeviator({0}), n_runs=500
+        )
+        expected = 1 / 4 + (3 / 4) * 0.5
+        assert abs(fractions.get(FairnessEvent.E10, 0) - expected) < 0.08
+
+    def test_needs_three_parties(self):
+        with pytest.raises(ValueError):
+            UnbalancedOptProtocol(make_concat(2, 8))
+
+
+class TestHybridBalanced:
+    def test_odd_n_uses_threshold_gmw(self):
+        protocol = make_hybrid_balanced(make_concat(5, 8))
+        assert isinstance(protocol, ThresholdGmwProtocol)
+        assert protocol.name.startswith("pi-prime")
+
+    def test_even_n_uses_opt_nsfe(self):
+        protocol = make_hybrid_balanced(make_concat(4, 8))
+        assert isinstance(protocol, OptNSfeProtocol)
+
+    def test_odd_n_attack_exceeds_opt_bound(self):
+        """The ⌈n/2⌉-coalition against odd-n Π′ gets E10 outright,
+        beating ΠOptnSFE's (n−1)/n fraction — Π′ is not optimally fair."""
+        protocol = make_hybrid_balanced(make_concat(5, 8))
+        fractions = event_fractions(
+            protocol, lambda: a_hat_t(5, 3), n_runs=100
+        )
+        assert fractions.get(FairnessEvent.E10, 0) == pytest.approx(1.0)
+
+
+class TestCoalitionStrategies:
+    def test_prefix_suffix_partition(self):
+        assert a_hat_t(5, 2)._static_corruptions == {0, 1}
+        assert a_bar_nt(5, 2)._static_corruptions == {2, 3, 4}
+
+    def test_invalid_t_rejected(self):
+        with pytest.raises(ValueError):
+            a_hat_t(5, 0)
+        with pytest.raises(ValueError):
+            a_bar_nt(5, 5)
+        with pytest.raises(ValueError):
+            a_bar_i(3, 7)

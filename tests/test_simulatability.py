@@ -1,0 +1,129 @@
+"""View-simulatability checks: statistical privacy of protocol views.
+
+The proofs' simulators exist because the relevant views are input-
+independent until the moment the ideal functionality is asked.  These
+tests verify that operationally: the corrupted party's phase-1 view in
+ΠOpt2SFE (its share and the order coin î) and a corrupted GMW party's
+pre-output view are statistically independent of the honest inputs.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis import statistical_distance
+from repro.crypto import Rng
+from repro.engine import run_execution
+from repro.engine.adversary import Adversary
+from repro.functionalities.priv_sfe import ShareGenOutput
+from repro.functions import make_and, make_swap
+from repro.gmw import GmwProtocol
+from repro.circuits import and_circuit
+from repro.protocols import Opt2SfeProtocol
+
+
+class Phase1Snooper(Adversary):
+    """Corrupt p0, join phase 1, record the view, then stop participating."""
+
+    def __init__(self):
+        self.share_digest = None
+        self.first_receiver = None
+        self._input = None
+
+    def initial_corruptions(self, n):
+        return {0}
+
+    def on_corrupt(self, party):
+        self._input = party.view.input
+
+    def on_round(self, iface):
+        if iface.round == 0:
+            iface.call_functionality(0, "F_sharegen2", self._input)
+
+    def on_functionality_notify(self, fname, event, data):
+        if event == "corrupted-outputs" and 0 in data:
+            payload = data[0]
+            if isinstance(payload, ShareGenOutput):
+                self.share_digest = payload.share.summand % 16
+                self.first_receiver = payload.first_receiver
+
+
+def phase1_view_distribution(inputs, runs=1500, seed=0):
+    protocol = Opt2SfeProtocol(make_swap(8))
+    views = Counter()
+    for k in range(runs):
+        adversary = Phase1Snooper()
+        try:
+            run_execution(protocol, inputs, adversary, Rng((seed, k)))
+        except Exception:  # pragma: no cover - snooper never breaks runs
+            raise
+        views[(adversary.share_digest, adversary.first_receiver)] += 1
+    return views
+
+
+class TestOpt2SfePhase1Privacy:
+    def test_view_independent_of_honest_input(self):
+        """The corrupted share+î distribution is the same whatever the
+        honest party holds — the simulator can fake it without f."""
+        a = phase1_view_distribution((3, 9), seed="p1")
+        b = phase1_view_distribution((3, 250), seed="p2")
+        self_noise = statistical_distance(
+            phase1_view_distribution((3, 9), seed="p3"), a
+        )
+        assert statistical_distance(a, b) <= self_noise + 0.06
+
+    def test_share_summand_uniform(self):
+        views = phase1_view_distribution((3, 9), runs=2000, seed="p4")
+        digests = Counter()
+        for (digest, _), count in views.items():
+            digests[digest] += count
+        assert set(digests) == set(range(16))
+        assert all(75 <= c <= 175 for c in digests.values())
+
+    def test_first_receiver_unbiased(self):
+        views = phase1_view_distribution((3, 9), runs=1200, seed="p5")
+        receiver_counts = Counter()
+        for (_, receiver), count in views.items():
+            receiver_counts[receiver] += count
+        assert abs(receiver_counts[0] - receiver_counts[1]) < 150
+
+
+class GmwWireSnooper(Adversary):
+    """Corrupt p0 in GMW and record its wire-share view before outputs."""
+
+    def __init__(self):
+        self.view = []
+
+    def initial_corruptions(self, n):
+        return {0}
+
+    def on_round(self, iface):
+        if iface.round >= 2:
+            return  # stop before the output-share round
+        for message in iface.rushing_messages():
+            if message.receiver == 0 and isinstance(message.payload, tuple):
+                kind = message.payload[0]
+                if kind == "gmw-input-shares":
+                    self.view.append(tuple(sorted(message.payload[1].items())))
+
+
+def gmw_view_distribution(inputs, runs=1200, seed=0):
+    protocol = GmwProtocol(and_circuit(), [1, 1], make_and())
+    views = Counter()
+    for k in range(runs):
+        adversary = GmwWireSnooper()
+        run_execution(protocol, inputs, adversary, Rng((seed, k)))
+        views[tuple(adversary.view)] += 1
+    return views
+
+
+class TestGmwWirePrivacy:
+    def test_input_shares_independent_of_honest_input(self):
+        """p1's share of the honest input bit is uniform: the views under
+        x2 = 0 and x2 = 1 are statistically identical."""
+        a = gmw_view_distribution((1, 0), seed="g1")
+        b = gmw_view_distribution((1, 1), seed="g2")
+        self_noise = statistical_distance(
+            gmw_view_distribution((1, 0), seed="g3"), a
+        )
+        assert statistical_distance(a, b) <= self_noise + 0.06

@@ -1,0 +1,115 @@
+"""Input-substitution attacks and estimator convergence diagnostics."""
+
+import pytest
+
+from repro.adversaries import (
+    InputSubstitution,
+    LockWatchingAborter,
+    constant_input,
+    fixed,
+    max_domain_input,
+)
+from repro.analysis import (
+    convergence_curve,
+    estimate_utility,
+    is_converging,
+    runs_to_separate,
+    u_naive_contract,
+    u_opt_2sfe,
+)
+from repro.core import FairnessEvent, STANDARD_GAMMA, classify
+from repro.crypto import Rng
+from repro.engine import run_execution
+from repro.functions import make_and, make_max, make_swap
+from repro.protocols import Opt2SfeProtocol, OptNSfeProtocol
+
+
+class TestInputSubstitution:
+    def test_biases_outcome(self):
+        """AND with a substituted 0 forces the output to 0."""
+        protocol = Opt2SfeProtocol(make_and())
+        adversary = InputSubstitution({0}, constant_input(0))
+        result = run_execution(protocol, (1, 1), adversary, Rng(1))
+        assert result.outputs[1].value == 0
+
+    def test_remains_perfectly_fair(self):
+        """Substitution alone never produces an unfair event: classified
+        against the *effective* (ideal-world) inputs, every run is E11."""
+        from dataclasses import replace
+
+        protocol = Opt2SfeProtocol(make_and())
+        for k in range(40):
+            adversary = InputSubstitution({0}, constant_input(0))
+            result = run_execution(
+                protocol, (1, 1), adversary, Rng(("fair", k))
+            )
+            effective = adversary.effective_inputs(result.inputs)
+            assert effective == (0, 1)
+            ideal_view = replace(result, inputs=effective)
+            assert classify(ideal_view, protocol.func) is FairnessEvent.E11
+
+    def test_bid_rigging_the_auction(self):
+        func = make_max(3, 4)
+        protocol = OptNSfeProtocol(func)
+        adversary = InputSubstitution({2}, max_domain_input(func))
+        result = run_execution(protocol, (5, 9, 2), adversary, Rng(2))
+        # p2's bid was replaced by the domain maximum 15: it wins.
+        assert all(rec.value == (2, 15) for rec in result.outputs.values())
+
+    def test_substitution_recorded(self):
+        adversary = InputSubstitution({0}, constant_input(7))
+        run_execution(Opt2SfeProtocol(make_swap(8)), (1, 2), adversary, Rng(3))
+        assert adversary.substituted == {0: 7}
+
+    def test_max_domain_requires_enumerable_domain(self):
+        func = make_swap(16)  # exponential domain
+        adversary = InputSubstitution({0}, max_domain_input(func))
+        with pytest.raises(ValueError):
+            run_execution(Opt2SfeProtocol(func), (1, 2), adversary, Rng(4))
+
+
+class TestConvergence:
+    def test_ci_tightens_with_budget(self):
+        protocol = Opt2SfeProtocol(make_swap(8))
+        factory = fixed("l0", lambda: LockWatchingAborter({0}))
+        points = convergence_curve(
+            protocol,
+            factory,
+            STANDARD_GAMMA,
+            budgets=(50, 200, 800),
+            seed="conv",
+        )
+        assert is_converging(points, factor=1.5)
+        # And the estimates hover around the analytic 0.75.
+        assert all(abs(p.mean - 0.75) < 0.2 for p in points)
+
+    def test_runs_to_separate(self):
+        # Separating Π1 (1.0) from ΠOpt2SFE (0.75) at z=3 over a unit
+        # payoff spread needs (3/(2·0.125))² = 144 runs.
+        n = runs_to_separate(
+            u_naive_contract(STANDARD_GAMMA), u_opt_2sfe(STANDARD_GAMMA)
+        )
+        assert n == 144
+
+    def test_runs_to_separate_validation(self):
+        with pytest.raises(ValueError):
+            runs_to_separate(0.5, 0.5)
+
+    def test_is_converging_validation(self):
+        with pytest.raises(ValueError):
+            is_converging([])
+
+    def test_separation_budget_actually_separates(self):
+        """Empirical check: at the prescribed budget the measured CIs of
+        the two protocols do not overlap."""
+        from repro.protocols import NaiveContractSigning
+
+        budget = runs_to_separate(1.0, 0.75)
+        factory = fixed("l1", lambda: LockWatchingAborter({1}))
+        est_naive = estimate_utility(
+            NaiveContractSigning(), factory, STANDARD_GAMMA, budget, seed="s1"
+        )
+        est_opt = estimate_utility(
+            Opt2SfeProtocol(make_swap(8)), factory, STANDARD_GAMMA, budget, seed="s2"
+        )
+        assert est_opt.ci_high < est_naive.ci_low
