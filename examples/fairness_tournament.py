@@ -6,8 +6,16 @@ This is Definition 1/2 used as a *tool*: given arbitrary protocols for the
 same task, measure each one's best attacker and rank them.  The ideal
 dummy protocol ΦFsfe is included as the unreachable reference point.
 
-Run:  python examples/fairness_tournament.py
+The sweep doubles as a demo of the parallel Monte-Carlo runtime: pass
+``--jobs N`` (or set ``REPRO_JOBS``) to fan each assessment's
+strategies × chunks out over worker processes — the rankings are
+bit-identical to the serial run, and the measured speedup is printed.
+
+Run:  python examples/fairness_tournament.py [--runs 300] [--jobs 4]
 """
+
+import argparse
+import time
 
 from repro.adversaries import strategy_space_for_protocol
 from repro.analysis import assess_protocol, build_order, format_table
@@ -20,8 +28,7 @@ from repro.protocols import (
     Opt2SfeProtocol,
     SingleRoundProtocol,
 )
-
-RUNS = 300
+from repro.runtime import SerialRunner, resolve_jobs, resolve_runner
 
 GAMMAS = {
     "standard (γ10=1, γ11=0.5)": STANDARD_GAMMA,
@@ -42,7 +49,9 @@ def build_zoo():
     ]
 
 
-def main() -> None:
+def run_tournament(runs: int, runner) -> int:
+    """Print the tournament; return the number of executions performed."""
+    executions = 0
     for label, gamma in GAMMAS.items():
         print(f"\n=== payoff vector: {label} ===\n")
         assessments = []
@@ -50,8 +59,14 @@ def main() -> None:
         for protocol in build_zoo():
             space = strategy_space_for_protocol(protocol)
             assessment = assess_protocol(
-                protocol, space, gamma, RUNS, seed=("tournament", protocol.name)
+                protocol,
+                space,
+                gamma,
+                runs,
+                seed=("tournament", protocol.name),
+                runner=runner,
             )
+            executions += runner.last_stats.executions
             assessments.append(assessment)
             rows.append(
                 [
@@ -69,10 +84,53 @@ def main() -> None:
             )
         )
         order = build_order(
-            assessments, tolerance=monte_carlo_tolerance(RUNS, spread=gamma.gamma10)
+            assessments, tolerance=monte_carlo_tolerance(runs, spread=gamma.gamma10)
         )
         print()
         print(order.render())
+    return executions
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=300, help="Monte-Carlo runs")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: $REPRO_JOBS or 1; 0 = all CPUs)",
+    )
+    args = parser.parse_args()
+
+    jobs = resolve_jobs(args.jobs)
+    runner = resolve_runner(args.jobs)
+    t0 = time.perf_counter()
+    executions = run_tournament(args.runs, runner)
+    elapsed = time.perf_counter() - t0
+    print(
+        f"\n[runtime] {executions} executions in {elapsed:.1f}s "
+        f"({executions / elapsed:.0f}/s, jobs={jobs})"
+    )
+
+    if jobs > 1:
+        # Measure the speedup on one representative assessment.
+        protocol = Opt2SfeProtocol(make_swap(16))
+        space = strategy_space_for_protocol(protocol)
+        serial = SerialRunner()
+        t0 = time.perf_counter()
+        assess_protocol(
+            protocol, space, STANDARD_GAMMA, args.runs, seed="speedup", runner=serial
+        )
+        serial_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        assess_protocol(
+            protocol, space, STANDARD_GAMMA, args.runs, seed="speedup", runner=runner
+        )
+        parallel_s = time.perf_counter() - t0
+        print(
+            f"[runtime] {protocol.name} assessment: serial {serial_s:.2f}s vs "
+            f"jobs={jobs} {parallel_s:.2f}s → {serial_s / parallel_s:.2f}x speedup"
+        )
 
 
 if __name__ == "__main__":

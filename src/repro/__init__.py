@@ -30,6 +30,7 @@ from . import (
     functions,
     gmw,
     protocols,
+    runtime,
 )
 from .core import STANDARD_GAMMA, FairnessEvent, PayoffVector
 

@@ -30,12 +30,25 @@ def convergence_curve(
     gamma: PayoffVector,
     budgets: Sequence[int] = (50, 100, 200, 400, 800),
     seed=0,
+    jobs=None,
+    runner=None,
 ) -> List[ConvergencePoint]:
-    """Estimate at increasing budgets; CI width should shrink ~1/√n."""
+    """Estimate at increasing budgets; CI width should shrink ~1/√n.
+
+    ``jobs``/``runner`` select the batch backend (see ``repro.runtime``).
+    """
+    from ..runtime import resolve_runner
+
+    active = runner if runner is not None else resolve_runner(jobs)
     points = []
     for n_runs in budgets:
         est = estimate_utility(
-            protocol, adversary_factory, gamma, n_runs, seed=(seed, n_runs)
+            protocol,
+            adversary_factory,
+            gamma,
+            n_runs,
+            seed=(seed, n_runs),
+            runner=active,
         )
         points.append(
             ConvergencePoint(

@@ -5,6 +5,14 @@ classifies each execution into its fairness event (protocol-specific
 classifier first, generic Fsfe⊥ classifier otherwise), and folds the event
 frequencies with a payoff vector into a :class:`UtilityEstimate` carrying
 Wilson confidence intervals.
+
+All execution is routed through the batch runtime (``repro.runtime``):
+each (protocol, strategy) pair becomes an :class:`ExecutionTask`, and the
+selected :class:`BatchRunner` decides whether the runs happen in-process
+or fan out over a worker pool.  ``jobs=None`` defers to the ``REPRO_JOBS``
+environment variable; serial and parallel backends are bit-identical for
+the same seed.  Strategy sweeps submit every (strategy, chunk) pair to one
+pool so parallelism spans both axes.
 """
 
 from __future__ import annotations
@@ -13,7 +21,6 @@ from typing import Callable, Iterable, List, Optional
 
 from ..adversaries.search import AdversaryFactory
 from ..core.balance import BalanceProfile
-from ..core.events import classify
 from ..core.fairness import ProtocolAssessment, assess
 from ..core.payoff import PayoffVector
 from ..core.utility import (
@@ -23,9 +30,13 @@ from ..core.utility import (
     estimate_from_counts,
 )
 from ..crypto.prf import Rng
-from ..engine.execution import run_execution
+from ..runtime import BatchRunner, EarlyStopRule, ExecutionTask, resolve_runner
 
 InputSampler = Callable[[Rng], tuple]
+
+
+def _runner_for(runner: Optional[BatchRunner], jobs: Optional[int]) -> BatchRunner:
+    return runner if runner is not None else resolve_runner(jobs)
 
 
 def run_batch(
@@ -34,22 +45,21 @@ def run_batch(
     n_runs: int,
     seed=0,
     input_sampler: Optional[InputSampler] = None,
+    jobs: Optional[int] = None,
+    runner: Optional[BatchRunner] = None,
+    early_stop: Optional[EarlyStopRule] = None,
 ) -> EventCounts:
-    """Run ``n_runs`` executions, returning the event counts."""
+    """Run ``n_runs`` executions, returning the event counts.
+
+    The returned object carries the batch's :class:`RunStats` in a
+    ``run_stats`` attribute (wall clock, executions/sec, backend).
+    """
     if n_runs <= 0:
         raise ValueError("need at least one run")
-    sampler = input_sampler or protocol.func.sample_inputs
-    master = Rng(seed)
-    counts = EventCounts()
-    for k in range(n_runs):
-        rng = master.fork(f"run-{k}")
-        inputs = sampler(rng.fork("inputs"))
-        adversary = adversary_factory(rng.fork("adversary"))
-        result = run_execution(protocol, inputs, adversary, rng.fork("exec"))
-        event = protocol.classify_result(result)
-        if event is None:
-            event = classify(result, protocol.func)
-        counts.record(event, result.corrupted)
+    task = ExecutionTask(protocol, adversary_factory, n_runs, seed, input_sampler)
+    active = _runner_for(runner, jobs)
+    counts = active.run_one(task, early_stop=early_stop)
+    counts.run_stats = active.last_stats
     return counts
 
 
@@ -61,9 +71,21 @@ def estimate_utility(
     seed=0,
     input_sampler: Optional[InputSampler] = None,
     cost=None,
+    jobs: Optional[int] = None,
+    runner: Optional[BatchRunner] = None,
+    early_stop: Optional[EarlyStopRule] = None,
 ) -> UtilityEstimate:
     """Estimate u_A(Π, A) for one strategy."""
-    counts = run_batch(protocol, adversary_factory, n_runs, seed, input_sampler)
+    counts = run_batch(
+        protocol,
+        adversary_factory,
+        n_runs,
+        seed,
+        input_sampler,
+        jobs=jobs,
+        runner=runner,
+        early_stop=early_stop,
+    )
     return estimate_from_counts(
         counts,
         gamma,
@@ -80,21 +102,31 @@ def sweep_strategies(
     n_runs: int = 400,
     seed=0,
     input_sampler: Optional[InputSampler] = None,
+    jobs: Optional[int] = None,
+    runner: Optional[BatchRunner] = None,
+    early_stop: Optional[EarlyStopRule] = None,
 ) -> List[UtilityEstimate]:
-    """Estimate the utility of every strategy in a space."""
-    estimates = []
-    for idx, factory in enumerate(factories):
-        estimates.append(
-            estimate_utility(
-                protocol,
-                factory,
-                gamma,
-                n_runs=n_runs,
-                seed=(seed, idx),
-                input_sampler=input_sampler,
-            )
+    """Estimate the utility of every strategy in a space.
+
+    All strategies are submitted to the runner as one batch, so a pool
+    backend interleaves chunks across strategies ("strategies × chunks").
+    """
+    factories = list(factories)
+    tasks = [
+        ExecutionTask(protocol, factory, n_runs, (seed, idx), input_sampler)
+        for idx, factory in enumerate(factories)
+    ]
+    active = _runner_for(runner, jobs)
+    counts_per_strategy = active.run(tasks, early_stop=early_stop)
+    return [
+        estimate_from_counts(
+            counts,
+            gamma,
+            protocol=protocol.name,
+            adversary=getattr(factory, "name", "adversary"),
         )
-    return estimates
+        for factory, counts in zip(factories, counts_per_strategy)
+    ]
 
 
 def assess_protocol(
@@ -104,10 +136,21 @@ def assess_protocol(
     n_runs: int = 400,
     seed=0,
     input_sampler: Optional[InputSampler] = None,
+    jobs: Optional[int] = None,
+    runner: Optional[BatchRunner] = None,
+    early_stop: Optional[EarlyStopRule] = None,
 ) -> ProtocolAssessment:
     """sup over the strategy space → a ProtocolAssessment (Definition 1)."""
     estimates = sweep_strategies(
-        protocol, factories, gamma, n_runs, seed, input_sampler
+        protocol,
+        factories,
+        gamma,
+        n_runs,
+        seed,
+        input_sampler,
+        jobs=jobs,
+        runner=runner,
+        early_stop=early_stop,
     )
     return assess(protocol.name, gamma, estimates)
 
@@ -118,18 +161,35 @@ def balance_profile(
     gamma: PayoffVector,
     n_runs: int = 400,
     seed=0,
+    jobs: Optional[int] = None,
+    runner: Optional[BatchRunner] = None,
 ) -> BalanceProfile:
     """Measure the best t-adversary's utility for each t in 1..n−1.
 
     ``factories_per_t[t]`` is the list of t-corruption strategies to sweep.
+    Every (t, strategy) batch is fanned out in a single runner call.
     """
     n = protocol.n_parties
-    per_t = {}
+    tasks, keys = [], []
     for t in range(1, n):
-        estimates = sweep_strategies(
-            protocol, factories_per_t[t], gamma, n_runs, seed=(seed, "t", t)
+        for idx, factory in enumerate(factories_per_t[t]):
+            tasks.append(
+                ExecutionTask(protocol, factory, n_runs, ((seed, "t", t), idx))
+            )
+            keys.append((t, factory))
+    active = _runner_for(runner, jobs)
+    counts_list = active.run(tasks)
+    estimates_per_t: dict = {}
+    for (t, factory), counts in zip(keys, counts_list):
+        estimates_per_t.setdefault(t, []).append(
+            estimate_from_counts(
+                counts,
+                gamma,
+                protocol=protocol.name,
+                adversary=getattr(factory, "name", "adversary"),
+            )
         )
-        per_t[t] = best_utility(estimates)
+    per_t = {t: best_utility(ests) for t, ests in estimates_per_t.items()}
     return BalanceProfile(
         protocol_name=protocol.name, n=n, gamma=gamma, per_t=per_t
     )

@@ -17,6 +17,7 @@ from ..core.balance import BalanceProfile
 from ..core.fairness import ProtocolAssessment
 from ..core.payoff import PayoffVector
 from ..core.utility import UtilityEstimate
+from ..runtime import RunStats
 from .comparison import FairnessOrder
 from .reconstruction import ReconstructionMeasurement
 
@@ -101,6 +102,20 @@ def reconstruction_to_dict(m: ReconstructionMeasurement) -> dict:
     }
 
 
+def run_stats_to_dict(stats: RunStats) -> dict:
+    return {
+        "backend": stats.backend,
+        "jobs": stats.jobs,
+        "n_tasks": stats.n_tasks,
+        "n_chunks": stats.n_chunks,
+        "requested": stats.requested,
+        "executions": stats.executions,
+        "wall_clock_s": stats.wall_clock_s,
+        "executions_per_sec": stats.executions_per_sec,
+        "stopped_early": stats.stopped_early,
+    }
+
+
 _EXPORTERS = {
     UtilityEstimate: estimate_to_dict,
     ProtocolAssessment: assessment_to_dict,
@@ -109,6 +124,7 @@ _EXPORTERS = {
     AttackGame: game_to_dict,
     ReconstructionMeasurement: reconstruction_to_dict,
     PayoffVector: gamma_to_dict,
+    RunStats: run_stats_to_dict,
 }
 
 

@@ -54,34 +54,70 @@ def honest_round_count(protocol, seed=0) -> int:
     return result.rounds_used
 
 
+@dataclass
+class _AbortSweepTask:
+    """Runtime task: one (abort round, corrupted party) cell of the sweep.
+
+    The chunk partial is the plain count of E10 hits (ints merge by
+    addition); run ``k`` draws from ``Rng(seed).fork(f"rec-{r}-{party}-{k}")``
+    exactly as the historical serial triple loop did.
+    """
+
+    protocol: object
+    r: int
+    party: int
+    n_runs: int
+    seed: object
+
+    @property
+    def label(self) -> str:
+        return f"abort@r{self.r}[party {self.party}]"
+
+    def run_chunk(self, start: int, stop: int) -> int:
+        master = Rng(self.seed)
+        hits = 0
+        for k in range(start, stop):
+            rng = master.fork(f"rec-{self.r}-{self.party}-{k}")
+            inputs = self.protocol.func.sample_inputs(rng.fork("inputs"))
+            adversary = AbortAtRound({self.party}, self.r)
+            result = run_execution(
+                self.protocol, inputs, adversary, rng.fork("exec")
+            )
+            event = self.protocol.classify_result(result)
+            if event is None:
+                event = classify(result, self.protocol.func)
+            if event is FairnessEvent.E10:
+                hits += 1
+        return hits
+
+
 def measure_reconstruction_rounds(
     protocol,
     n_runs: int = 200,
     seed=0,
     threshold: float = 0.1,
+    jobs=None,
+    runner=None,
 ) -> ReconstructionMeasurement:
-    """Sweep abort rounds x single corruptions, measuring Pr[E10]."""
+    """Sweep abort rounds x single corruptions, measuring Pr[E10].
+
+    The (round × party) grid is fanned out through the batch runtime as
+    one batch; ``jobs``/``runner`` select the backend.
+    """
+    from ..runtime import resolve_runner
+
     m = honest_round_count(protocol, seed)
+    tasks = [
+        _AbortSweepTask(protocol, r, party, n_runs, seed)
+        for r in range(m)
+        for party in range(protocol.n_parties)
+    ]
+    active = runner if runner is not None else resolve_runner(jobs)
+    hit_counts = active.run(tasks) if tasks else []
     per_round: Dict[int, float] = {}
-    master = Rng(seed)
-    for r in range(m):
-        worst = 0.0
-        for party in range(protocol.n_parties):
-            hits = 0
-            for k in range(n_runs):
-                rng = master.fork(f"rec-{r}-{party}-{k}")
-                inputs = protocol.func.sample_inputs(rng.fork("inputs"))
-                adversary = AbortAtRound({party}, r)
-                result = run_execution(
-                    protocol, inputs, adversary, rng.fork("exec")
-                )
-                event = protocol.classify_result(result)
-                if event is None:
-                    event = classify(result, protocol.func)
-                if event is FairnessEvent.E10:
-                    hits += 1
-            worst = max(worst, hits / n_runs)
-        per_round[r] = worst
+    for task, hits in zip(tasks, hit_counts):
+        rate = hits / n_runs
+        per_round[task.r] = max(per_round.get(task.r, 0.0), rate)
     return ReconstructionMeasurement(
         protocol_name=protocol.name,
         honest_rounds=m,

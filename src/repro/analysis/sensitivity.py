@@ -49,10 +49,19 @@ def utility_curve(
     n_runs: int = 300,
     seed=0,
     strategies_per_t: Optional[Dict[int, list]] = None,
+    jobs=None,
+    runner=None,
 ) -> UtilityCurve:
-    """Measure the per-t best-attack curve of a protocol."""
+    """Measure the per-t best-attack curve of a protocol.
+
+    All (t, strategy) batches are fanned out through the batch runtime in
+    a single call; ``jobs``/``runner`` select the backend.
+    """
+    from ..core.utility import estimate_from_counts
+    from ..runtime import ExecutionTask, resolve_runner
+
     n = protocol.n_parties
-    points = {}
+    tasks, keys = [], []
     for t in range(1, n):
         factories = (
             strategies_per_t[t]
@@ -64,10 +73,24 @@ def utility_curve(
                 )
             ]
         )
-        estimates = sweep_strategies(
-            protocol, factories, gamma, n_runs, seed=(seed, t)
+        for idx, factory in enumerate(factories):
+            tasks.append(
+                ExecutionTask(protocol, factory, n_runs, ((seed, t), idx))
+            )
+            keys.append((t, factory))
+    active = runner if runner is not None else resolve_runner(jobs)
+    counts_list = active.run(tasks)
+    estimates_per_t: Dict[int, list] = {}
+    for (t, factory), counts in zip(keys, counts_list):
+        estimates_per_t.setdefault(t, []).append(
+            estimate_from_counts(
+                counts,
+                gamma,
+                protocol=protocol.name,
+                adversary=getattr(factory, "name", "adversary"),
+            )
         )
-        points[t] = best_utility(estimates)
+    points = {t: best_utility(ests) for t, ests in estimates_per_t.items()}
     return UtilityCurve(protocol.name, gamma, points)
 
 
@@ -101,12 +124,17 @@ def gamma_ratio_sweep(
     ratios: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 0.9),
     n_runs: int = 300,
     seed=0,
+    jobs=None,
+    runner=None,
 ) -> List[tuple]:
     """Best-attack utility as a function of the ratio γ11/γ10 (γ10 = 1).
 
     Returns [(ratio, sup utility)].  For ΠOpt2SFE the curve is the line
     (1 + ratio)/2 — the Theorem-3 bound traced across Γfair.
     """
+    from ..runtime import resolve_runner
+
+    active = runner if runner is not None else resolve_runner(jobs)
     results = []
     for ratio in ratios:
         if not 0.0 <= ratio < 1.0:
@@ -114,7 +142,7 @@ def gamma_ratio_sweep(
         gamma = PayoffVector(0.0, 0.0, 1.0, ratio)
         protocol = protocol_builder()
         estimates = sweep_strategies(
-            protocol, strategies, gamma, n_runs, seed=(seed, ratio)
+            protocol, strategies, gamma, n_runs, seed=(seed, ratio), runner=active
         )
         results.append((ratio, best_utility(estimates).mean))
     return results

@@ -338,34 +338,64 @@ def _canonical_outcome(result, func: FunctionSpec, corrupted: int) -> tuple:
     return (rec.kind, honest_status, claim_status)
 
 
+class _RealVsIdealTask:
+    """Runtime task: paired real/ideal executions over a chunk of runs.
+
+    The chunk partial is a mergeable ``(real, ideal, ideal_events)``
+    Counter triple; per-run randomness is ``Rng(seed).fork(f"cmp-{k}")``
+    exactly as the historical serial loop derived it, so any chunking of
+    the run range reproduces the same executions.
+    """
+
+    def __init__(self, adversary_builder, corrupted, n_runs, seed, bits):
+        self.adversary_builder = adversary_builder
+        self.corrupted = corrupted
+        self.n_runs = n_runs
+        self.seed = seed
+        self.bits = bits
+        self.label = f"real-vs-ideal[corrupted={corrupted}]"
+
+    def run_chunk(self, start: int, stop: int):
+        func = _make_swap(self.bits)
+        real_protocol = Opt2SfeProtocol(func)
+        ideal_protocol = IdealWorldOpt2Sfe(func, self.corrupted)
+        master = Rng(self.seed)
+        real = Counter()
+        ideal = Counter()
+        ideal_events = Counter()
+        for k in range(start, stop):
+            rng = master.fork(f"cmp-{k}")
+            inputs = func.sample_inputs(rng.fork("in"))
+            r = run_execution(
+                real_protocol, inputs, self.adversary_builder(), rng.fork("real")
+            )
+            real[_canonical_outcome(r, func, self.corrupted)] += 1
+
+            i = run_execution(
+                ideal_protocol, inputs, self.adversary_builder(), rng.fork("ideal")
+            )
+            ideal[_canonical_outcome(i, func, self.corrupted)] += 1
+            ideal_events[ideal_protocol.last_coordinator.ideal_event] += 1
+        return real, ideal, ideal_events
+
+
 def opt2sfe_outcome_distributions(
     adversary_builder: Callable[[], object],
     corrupted: int,
     n_runs: int = 400,
     seed=0,
     bits: int = 16,
+    jobs=None,
+    runner=None,
 ):
     """Run one strategy against the real protocol and against SA's ideal
-    world; return (real Counter, ideal Counter, ideal event Counter)."""
-    func = _make_swap(bits)
-    real_protocol = Opt2SfeProtocol(func)
-    ideal_protocol = IdealWorldOpt2Sfe(func, corrupted)
-    master = Rng(seed)
+    world; return (real Counter, ideal Counter, ideal event Counter).
 
-    real = Counter()
-    ideal = Counter()
-    ideal_events = Counter()
-    for k in range(n_runs):
-        rng = master.fork(f"cmp-{k}")
-        inputs = func.sample_inputs(rng.fork("in"))
-        r = run_execution(
-            real_protocol, inputs, adversary_builder(), rng.fork("real")
-        )
-        real[_canonical_outcome(r, func, corrupted)] += 1
+    ``jobs``/``runner`` select the batch backend (see ``repro.runtime``).
+    """
+    from ..runtime import resolve_runner
 
-        i = run_execution(
-            ideal_protocol, inputs, adversary_builder(), rng.fork("ideal")
-        )
-        ideal[_canonical_outcome(i, func, corrupted)] += 1
-        ideal_events[ideal_protocol.last_coordinator.ideal_event] += 1
+    task = _RealVsIdealTask(adversary_builder, corrupted, n_runs, seed, bits)
+    active = runner if runner is not None else resolve_runner(jobs)
+    real, ideal, ideal_events = active.run_one(task)
     return real, ideal, ideal_events

@@ -10,7 +10,9 @@ Commands
 ``curve``          per-t utility curves for two protocols + crossover
 
 All measurements are Monte-Carlo; ``--runs`` and ``--seed`` control the
-budget and reproducibility.
+budget and reproducibility, and ``--jobs`` (or the ``REPRO_JOBS``
+environment variable) fans batches out over worker processes without
+changing any result.
 """
 
 from __future__ import annotations
@@ -82,6 +84,16 @@ def _protocol_registry(n: int) -> Dict[str, object]:
     return registry
 
 
+def _parse_jobs(text: str) -> int:
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if jobs < 0:
+        raise argparse.ArgumentTypeError("jobs must be non-negative")
+    return jobs
+
+
 def _parse_gamma(text: str) -> PayoffVector:
     parts = [float(x) for x in text.split(",")]
     if len(parts) != 4:
@@ -101,6 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--runs", type=int, default=400, help="Monte-Carlo runs")
     parser.add_argument("--seed", default="cli", help="random seed")
+    parser.add_argument(
+        "--jobs",
+        type=_parse_jobs,
+        default=None,
+        help="worker processes for Monte-Carlo batches "
+        "(default: $REPRO_JOBS or 1; 0 = all CPUs)",
+    )
     parser.add_argument(
         "--gamma",
         type=_parse_gamma,
@@ -158,7 +177,12 @@ def cmd_compare(args, registry) -> str:
         space = strategy_space_for_protocol(protocol)
         assessments.append(
             assess_protocol(
-                protocol, space, args.gamma, args.runs, seed=(args.seed, name)
+                protocol,
+                space,
+                args.gamma,
+                args.runs,
+                seed=(args.seed, name),
+                jobs=args.jobs,
             )
         )
     order = build_order(
@@ -172,7 +196,7 @@ def cmd_attack(args, registry) -> str:
     protocol = _get(registry, args.protocol)
     space = strategy_space_for_protocol(protocol)
     assessment = assess_protocol(
-        protocol, space, args.gamma, args.runs, seed=args.seed
+        protocol, space, args.gamma, args.runs, seed=args.seed, jobs=args.jobs
     )
     best = assessment.best_attack
     lines = [
@@ -198,7 +222,9 @@ def cmd_balance(args, registry) -> str:
         t: [fixed(f"lw{t}", lambda t=t: LockWatchingAborter(set(range(t))))]
         for t in range(1, n)
     }
-    profile = balance_profile(protocol, factories, gamma, args.runs, args.seed)
+    profile = balance_profile(
+        protocol, factories, gamma, args.runs, args.seed, jobs=args.jobs
+    )
     rows = [[t, f"{profile.per_t[t].mean:.4f}"] for t in range(1, n)]
     tol = (n - 1) * monte_carlo_tolerance(args.runs, spread=gamma.gamma10)
     verdict = is_utility_balanced(profile, tol=tol)
@@ -214,7 +240,9 @@ def cmd_balance(args, registry) -> str:
 
 def cmd_reconstruction(args, registry) -> str:
     protocol = _get(registry, args.protocol)
-    m = measure_reconstruction_rounds(protocol, n_runs=args.runs, seed=args.seed)
+    m = measure_reconstruction_rounds(
+        protocol, n_runs=args.runs, seed=args.seed, jobs=args.jobs
+    )
     rows = [[r, f"{p:.3f}"] for r, p in sorted(m.unfair_probability.items())]
     return "\n".join(
         [
@@ -231,8 +259,8 @@ def cmd_curve(args, registry) -> str:
     if a.n_parties != b.n_parties:
         raise SystemExit("protocols must have the same party count")
     gamma = args.gamma.require_fair_plus()
-    curve_a = utility_curve(a, gamma, args.runs, seed=(args.seed, "a"))
-    curve_b = utility_curve(b, gamma, args.runs, seed=(args.seed, "b"))
+    curve_a = utility_curve(a, gamma, args.runs, seed=(args.seed, "a"), jobs=args.jobs)
+    curve_b = utility_curve(b, gamma, args.runs, seed=(args.seed, "b"), jobs=args.jobs)
     rows = [
         [t, f"{curve_a.value(t):.4f}", f"{curve_b.value(t):.4f}"]
         for t in sorted(curve_a.points)

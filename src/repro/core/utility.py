@@ -32,6 +32,26 @@ class EventCounts:
         key = frozenset(corrupted)
         self.corruption_counts[key] = self.corruption_counts.get(key, 0) + 1
 
+    def merge(self, other: "EventCounts") -> "EventCounts":
+        """Fold another batch's counts into this one (in place).
+
+        Summing both ``counts`` and ``corruption_counts`` makes event
+        counts a commutative monoid, which is what lets parallel runners
+        compute per-chunk partials and fold them in any grouping.
+        """
+        for event, c in other.counts.items():
+            self.counts[event] = self.counts.get(event, 0) + c
+        for subset, c in other.corruption_counts.items():
+            self.corruption_counts[subset] = (
+                self.corruption_counts.get(subset, 0) + c
+            )
+        return self
+
+    def __add__(self, other: "EventCounts") -> "EventCounts":
+        if not isinstance(other, EventCounts):
+            return NotImplemented
+        return EventCounts().merge(self).merge(other)
+
     @property
     def total(self) -> int:
         return sum(self.counts.values())

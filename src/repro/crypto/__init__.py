@@ -7,7 +7,7 @@ mapping from paper primitives to these modules.
 """
 
 from .field import Bits, DEFAULT_PRIME, Field
-from .prf import Prg, Rng
+from .prf import Prg, Rng, encode_seed
 from .mac import MacKey, gen_mac_key, tag, verify
 from .commitment import Commitment, Opening, commit, open_commitment
 from .signature import Signature, SigningKey, VerificationKey, gen, sign, ver
@@ -43,6 +43,7 @@ __all__ = [
     "Field",
     "Prg",
     "Rng",
+    "encode_seed",
     "MacKey",
     "gen_mac_key",
     "tag",

@@ -39,17 +39,60 @@ class Prg:
         return out
 
 
+def _encode_component(x) -> bytes:
+    """Type-tagged, length-prefixed encoding of one piece of seed material.
+
+    Injective across the supported types: ``("cli", 1)`` and
+    ``("cli", "1")`` (or a string that happens to equal a tuple's repr)
+    can never produce the same byte string, because every component
+    carries its own type tag and exact length.
+    """
+    if isinstance(x, bool):  # before int: bool is an int subclass
+        return b"B1" if x else b"B0"
+    if isinstance(x, int):
+        body = str(x).encode()
+        return b"i" + len(body).to_bytes(4, "big") + body
+    if isinstance(x, str):
+        body = x.encode()
+        return b"s" + len(body).to_bytes(4, "big") + body
+    if isinstance(x, (bytes, bytearray)):
+        return b"b" + len(x).to_bytes(4, "big") + bytes(x)
+    if x is None:
+        return b"n"
+    if isinstance(x, float):
+        body = x.hex().encode()
+        return b"f" + len(body).to_bytes(4, "big") + body
+    if isinstance(x, (tuple, list)):
+        parts = b"".join(_encode_component(item) for item in x)
+        return b"t" + len(x).to_bytes(4, "big") + parts
+    body = repr(x).encode()
+    return b"r" + len(body).to_bytes(4, "big") + body
+
+
+def encode_seed(material) -> bytes:
+    """Canonical digest of composite seed material.
+
+    The single funnel for every call site that builds seeds out of
+    labels, indices, and nested tuples (``(seed, idx)``, ``(seed, "t",
+    t)``, …).  All structure is encoded unambiguously before hashing, so
+    distinct composites yield distinct seeds regardless of how a caller
+    would have stringified them.
+    """
+    return hashlib.sha256(b"seed:" + _encode_component(material)).digest()
+
+
 class Rng:
     """Deterministic RNG with fork support, backed by :class:`Prg`."""
 
     def __init__(self, seed):
-        if isinstance(seed, int):
+        if isinstance(seed, int) and not isinstance(seed, bool):
             seed = seed.to_bytes(16, "big", signed=True)
         elif isinstance(seed, str):
             seed = seed.encode()
         elif not isinstance(seed, (bytes, bytearray)):
-            # Composite seeds (tuples of run labels, etc.): canonical repr.
-            seed = repr(seed).encode()
+            # Composite seeds (tuples of run labels, etc.): canonical,
+            # collision-free encoding via encode_seed.
+            seed = encode_seed(seed)
         self._prg = Prg(hashlib.sha256(b"rng:" + bytes(seed)).digest())
         self._seed = bytes(seed)
 

@@ -1,0 +1,44 @@
+"""Parallel Monte-Carlo runtime: batch runners, tasks, early stopping.
+
+The analysis layer expresses every measurement as a list of tasks and
+hands them to a :class:`BatchRunner`; :class:`SerialRunner` replays the
+historical in-process loop, :class:`ProcessPoolRunner` fans chunks out
+over worker processes.  Both produce bit-identical results for the same
+seed — see docs/architecture.md ("Measurement runtime").
+"""
+
+from .early_stop import CiWidthStop, EarlyStopRule, UtilityBoundStop
+from .runner import (
+    REPRO_JOBS_ENV,
+    SMALL_BATCH_THRESHOLD,
+    BatchRunner,
+    ProcessPoolRunner,
+    SerialRunner,
+    resolve_jobs,
+    resolve_runner,
+)
+from .stats import RunStats
+from .tasks import (
+    ExecutionTask,
+    default_chunk_size,
+    merge_partials,
+    plan_chunks,
+)
+
+__all__ = [
+    "BatchRunner",
+    "SerialRunner",
+    "ProcessPoolRunner",
+    "ExecutionTask",
+    "RunStats",
+    "EarlyStopRule",
+    "UtilityBoundStop",
+    "CiWidthStop",
+    "resolve_jobs",
+    "resolve_runner",
+    "default_chunk_size",
+    "merge_partials",
+    "plan_chunks",
+    "REPRO_JOBS_ENV",
+    "SMALL_BATCH_THRESHOLD",
+]

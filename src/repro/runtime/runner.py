@@ -1,0 +1,244 @@
+"""Batch runners: serial and process-pool Monte-Carlo execution.
+
+The measurement layer hands a runner a list of tasks (see
+``runtime.tasks``); the runner splits each task's run range into chunks,
+executes the chunks, and folds the partials back in ascending chunk order.
+Two interchangeable backends:
+
+* :class:`SerialRunner` — the historical in-process loop; default, and
+  always used for tiny batches where worker startup would dominate.
+* :class:`ProcessPoolRunner` — fans all chunks of all tasks out over a
+  ``concurrent.futures`` process pool (``fork`` start method: workers
+  inherit the live task objects, so strategy factories built from closures
+  need no pickling; submitted work items are just ``(task, start, stop)``
+  index triples, and results come back as picklable partials).
+
+Determinism contract: per-run randomness depends only on ``(seed, k)``
+via ``Rng(seed).fork(f"run-{k}")`` inside the task, and partials are
+merged in ascending chunk order, so both backends produce bit-identical
+results for the same seed.
+
+Backend selection: an explicit ``runner=`` argument wins; otherwise
+``jobs`` (CLI ``--jobs`` / keyword) is consulted, falling back to the
+``REPRO_JOBS`` environment variable, falling back to serial.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence
+
+from .early_stop import EarlyStopRule
+from .stats import RunStats
+from .tasks import merge_partials, plan_chunks
+
+#: Environment variable consulted when no explicit ``jobs`` is given.
+REPRO_JOBS_ENV = "REPRO_JOBS"
+
+#: Batches smaller than this run serially even when a pool was requested.
+SMALL_BATCH_THRESHOLD = 64
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit arg > ``REPRO_JOBS`` > 1.
+
+    ``0`` (or the env value ``"auto"``) means "use every CPU".
+    """
+    if jobs is None:
+        raw = os.environ.get(REPRO_JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        if raw.lower() == "auto":
+            jobs = os.cpu_count() or 1
+        else:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{REPRO_JOBS_ENV} must be an integer or 'auto', got {raw!r}"
+                )
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be non-negative, got {jobs}")
+    return max(1, jobs)
+
+
+def resolve_runner(
+    jobs: Optional[int] = None, chunk_size: Optional[int] = None
+) -> "BatchRunner":
+    """Build the runner implied by ``jobs``/``REPRO_JOBS`` (serial if ≤ 1)."""
+    n = resolve_jobs(jobs)
+    if n <= 1:
+        return SerialRunner(chunk_size=chunk_size)
+    return ProcessPoolRunner(n, chunk_size=chunk_size)
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class BatchRunner:
+    """Common chunking/merging/stats machinery for both backends."""
+
+    backend = "abstract"
+
+    def __init__(self, chunk_size: Optional[int] = None):
+        self.chunk_size = chunk_size
+        self.last_stats: Optional[RunStats] = None
+
+    def run(self, tasks: Sequence, early_stop: Optional[EarlyStopRule] = None) -> List:
+        """Run every task to completion; return one merged value per task.
+
+        Also records a batch-wide :class:`RunStats` in ``self.last_stats``.
+        """
+        raise NotImplementedError
+
+    def run_one(self, task, early_stop: Optional[EarlyStopRule] = None):
+        """Convenience wrapper for single-task batches."""
+        return self.run([task], early_stop=early_stop)[0]
+
+    def _plan(self, task) -> List[tuple]:
+        # With no early stopping there is no reason to pay per-chunk
+        # overhead in the serial backend, but the plan must stay a pure
+        # function of (n_runs, chunk_size) so both backends check a stop
+        # rule at identical run indices.
+        return plan_chunks(task.n_runs, self.chunk_size)
+
+    def _record(self, n_tasks, n_chunks, requested, executions, t0, stopped):
+        self.last_stats = RunStats(
+            backend=self.backend,
+            jobs=getattr(self, "jobs", 1),
+            n_tasks=n_tasks,
+            n_chunks=n_chunks,
+            requested=requested,
+            executions=executions,
+            wall_clock_s=time.perf_counter() - t0,
+            stopped_early=stopped,
+        )
+
+
+class SerialRunner(BatchRunner):
+    """In-process execution; chunked only to honour early-stop cadence."""
+
+    backend = "serial"
+    jobs = 1
+
+    def run(self, tasks: Sequence, early_stop: Optional[EarlyStopRule] = None) -> List:
+        tasks = list(tasks)
+        t0 = time.perf_counter()
+        values: List = []
+        n_chunks = executions = 0
+        stopped_any = False
+        for task in tasks:
+            if early_stop is None:
+                # Single sweep: identical result, no merge overhead.
+                value = task.run_chunk(0, task.n_runs)
+                n_chunks += 1
+                executions += task.n_runs
+            else:
+                value = None
+                for start, stop in self._plan(task):
+                    part = task.run_chunk(start, stop)
+                    n_chunks += 1
+                    executions += stop - start
+                    value = part if value is None else merge_partials(value, part)
+                    if early_stop.should_stop(value):
+                        stopped_any = True
+                        break
+            values.append(value)
+        requested = sum(t.n_runs for t in tasks)
+        self._record(len(tasks), n_chunks, requested, executions, t0, stopped_any)
+        return values
+
+
+# -- process-pool worker side ------------------------------------------------
+# Workers are forked, so they see the parent's task list through this
+# module-level slot; submitted work items carry only index triples.
+
+_WORKER_TASKS: Sequence = ()
+
+
+def _worker_init(tasks: Sequence) -> None:
+    global _WORKER_TASKS
+    _WORKER_TASKS = tasks
+
+
+def _worker_run_chunk(task_index: int, start: int, stop: int):
+    return _WORKER_TASKS[task_index].run_chunk(start, stop)
+
+
+class ProcessPoolRunner(BatchRunner):
+    """Chunked fan-out over a forked process pool.
+
+    All chunks of all tasks are submitted together (a strategy sweep
+    parallelises across strategies *and* within each strategy's run
+    range).  Falls back to :class:`SerialRunner` when the batch is tiny,
+    only one worker is available, or the platform cannot fork.
+    """
+
+    backend = "process-pool"
+
+    def __init__(
+        self,
+        jobs: int,
+        chunk_size: Optional[int] = None,
+        min_parallel_runs: int = SMALL_BATCH_THRESHOLD,
+    ):
+        super().__init__(chunk_size=chunk_size)
+        if jobs < 1:
+            raise ValueError("ProcessPoolRunner needs at least one worker")
+        self.jobs = jobs
+        self.min_parallel_runs = min_parallel_runs
+
+    def run(self, tasks: Sequence, early_stop: Optional[EarlyStopRule] = None) -> List:
+        tasks = list(tasks)
+        requested = sum(t.n_runs for t in tasks)
+        if (
+            self.jobs <= 1
+            or requested < self.min_parallel_runs
+            or not _fork_available()
+        ):
+            serial = SerialRunner(chunk_size=self.chunk_size)
+            values = serial.run(tasks, early_stop=early_stop)
+            self.last_stats = serial.last_stats
+            return values
+
+        t0 = time.perf_counter()
+        plans = [self._plan(task) for task in tasks]
+        values: List = [None] * len(tasks)
+        n_chunks = executions = 0
+        stopped_any = False
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=ctx,
+            initializer=_worker_init,
+            initargs=(tasks,),
+        ) as pool:
+            submitted = [
+                [
+                    (span, pool.submit(_worker_run_chunk, ti, span[0], span[1]))
+                    for span in plan
+                ]
+                for ti, plan in enumerate(plans)
+            ]
+            for ti, chunk_futures in enumerate(submitted):
+                value = None
+                stopped = False
+                for (start, stop), future in chunk_futures:
+                    if stopped:
+                        future.cancel()
+                        continue
+                    part = future.result()
+                    n_chunks += 1
+                    executions += stop - start
+                    value = part if value is None else merge_partials(value, part)
+                    if early_stop is not None and early_stop.should_stop(value):
+                        stopped = stopped_any = True
+                values[ti] = value
+        self._record(len(tasks), n_chunks, requested, executions, t0, stopped_any)
+        return values

@@ -1,0 +1,40 @@
+"""Per-batch execution statistics.
+
+Every :class:`~repro.runtime.runner.BatchRunner` records a :class:`RunStats`
+for its most recent batch: which backend actually ran, how much work was
+requested vs. executed (the two differ when adaptive early stopping fires),
+and the realised throughput.  The struct is exported through
+``analysis.export`` so benchmark trajectories can track executions/sec
+alongside the measurements themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Wall-clock accounting for one runner batch."""
+
+    backend: str
+    jobs: int
+    n_tasks: int
+    n_chunks: int
+    requested: int
+    executions: int
+    wall_clock_s: float
+    stopped_early: bool = False
+
+    @property
+    def executions_per_sec(self) -> float:
+        if self.wall_clock_s <= 0:
+            return float("inf") if self.executions else 0.0
+        return self.executions / self.wall_clock_s
+
+    def __str__(self) -> str:
+        return (
+            f"{self.backend}(jobs={self.jobs}): {self.executions}/"
+            f"{self.requested} executions in {self.wall_clock_s:.3f}s "
+            f"({self.executions_per_sec:.0f}/s)"
+        )

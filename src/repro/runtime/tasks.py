@@ -1,0 +1,94 @@
+"""Batch tasks: the unit of work a runner fans out and folds back.
+
+A *task* is anything with an ``n_runs`` attribute and a
+``run_chunk(start, stop)`` method returning a **mergeable partial** — a
+value that can be combined with another chunk's partial via
+:func:`merge_partials` (``EventCounts``, ``collections.Counter``, plain
+ints, or tuples of those).  Runners split ``range(n_runs)`` into chunks,
+execute the chunks (serially or across worker processes) and merge the
+partials in ascending chunk order, so the folded result never depends on
+which backend ran the chunks.
+
+:class:`ExecutionTask` is the standard task: the estimator's
+protocol-vs-adversary Monte-Carlo loop.  Its seed derivation is the
+contract that makes parallelism invisible: run ``k`` *always* draws from
+``Rng(seed).fork(f"run-{k}")``, exactly as the original serial loop did,
+so any partition of ``range(n_runs)`` into chunks replays bit-identical
+executions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..core.events import classify
+from ..core.utility import EventCounts
+from ..crypto.prf import Rng
+from ..engine.execution import run_execution
+
+
+def default_chunk_size(n_runs: int) -> int:
+    """Chunk size used when none is given: a pure function of ``n_runs``.
+
+    Deliberately independent of the worker count so that early-stopping
+    decisions (taken at chunk boundaries) land on the same run index no
+    matter which backend executes the batch.
+    """
+    return max(16, math.ceil(n_runs / 32))
+
+
+def plan_chunks(n_runs: int, chunk_size: Optional[int] = None) -> List[Tuple[int, int]]:
+    """Partition ``range(n_runs)`` into contiguous ``(start, stop)`` spans."""
+    if n_runs <= 0:
+        raise ValueError("need at least one run")
+    size = chunk_size if chunk_size is not None else default_chunk_size(n_runs)
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    return [(lo, min(lo + size, n_runs)) for lo in range(0, n_runs, size)]
+
+
+def merge_partials(a, b):
+    """Fold two chunk partials into one (tuples merge element-wise)."""
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        if len(a) != len(b):
+            raise ValueError("cannot merge tuples of different arity")
+        return tuple(merge_partials(x, y) for x, y in zip(a, b))
+    return a + b
+
+
+@dataclass
+class ExecutionTask:
+    """One protocol-vs-strategy Monte-Carlo batch.
+
+    ``run_chunk`` reproduces the estimator's historical serial loop
+    verbatim: per-run RNGs are ``Rng(seed).fork(f"run-{k}")``, with
+    ``inputs``/``adversary``/``exec`` sub-streams, so chunked execution is
+    bit-identical to a single serial sweep over ``range(n_runs)``.
+    """
+
+    protocol: object
+    factory: Callable[[Rng], object]
+    n_runs: int
+    seed: object = 0
+    input_sampler: Optional[Callable[[Rng], tuple]] = None
+
+    @property
+    def label(self) -> str:
+        return getattr(self.factory, "name", "adversary")
+
+    def run_chunk(self, start: int, stop: int) -> EventCounts:
+        sampler = self.input_sampler or self.protocol.func.sample_inputs
+        master = Rng(self.seed)
+        counts = EventCounts()
+        for k in range(start, stop):
+            rng = master.fork(f"run-{k}")
+            inputs = sampler(rng.fork("inputs"))
+            adversary = self.factory(rng.fork("adversary"))
+            result = run_execution(self.protocol, inputs, adversary, rng.fork("exec"))
+            event = self.protocol.classify_result(result)
+            if event is None:
+                event = classify(result, self.protocol.func)
+            counts.record(event, result.corrupted)
+        return counts

@@ -121,3 +121,50 @@ class TestRng:
         for _ in range(8000):
             buckets[rng.randrange(8)] += 1
         assert all(850 <= b <= 1150 for b in buckets)
+
+
+class TestSeedEncoding:
+    """Canonical composite-seed encoding (the regression for the old
+    repr-based scheme, where a string equal to a tuple's repr collided)."""
+
+    def test_int_vs_str_components_differ(self):
+        assert Rng(("cli", 1)).randbytes(16) != Rng(("cli", "1")).randbytes(16)
+
+    def test_tuple_vs_its_repr_string_differ(self):
+        # The historical collision: Rng("('cli', 1)") == Rng(("cli", 1)).
+        assert (
+            Rng(("cli", 1)).randbytes(16)
+            != Rng("('cli', 1)").randbytes(16)
+        )
+
+    def test_nesting_structure_matters(self):
+        assert (
+            Rng(("a", ("b", "c"))).randbytes(16)
+            != Rng((("a", "b"), "c")).randbytes(16)
+        )
+
+    def test_adjacent_component_boundaries_matter(self):
+        assert Rng(("ab", "c")).randbytes(16) != Rng(("a", "bc")).randbytes(16)
+
+    def test_bytes_vs_str_components_differ(self):
+        assert Rng((b"x", 0)).randbytes(16) != Rng(("x", 0)).randbytes(16)
+
+    def test_bool_vs_int_components_differ(self):
+        assert Rng((True, "s")).randbytes(16) != Rng((1, "s")).randbytes(16)
+
+    def test_composite_seeds_are_deterministic(self):
+        seed = ("sweep", 3, ("t", 2))
+        assert Rng(seed).randbytes(32) == Rng(seed).randbytes(32)
+
+    def test_encode_seed_is_canonical(self):
+        from repro.crypto.prf import encode_seed
+
+        assert encode_seed(("a", 1)) == encode_seed(("a", 1))
+        assert encode_seed(("a", 1)) != encode_seed(("a", "1"))
+        assert encode_seed([1, 2]) == encode_seed((1, 2))  # list ≡ tuple
+
+    def test_primitive_seeds_keep_legacy_streams(self):
+        # int/str/bytes fast paths are untouched by the canonical encoder:
+        # int seeds are 16-byte big-endian, str seeds are utf-8.
+        assert Rng(7).randbytes(8) == Rng((7).to_bytes(16, "big", signed=True)).randbytes(8)
+        assert Rng("label").randbytes(8) == Rng(b"label").randbytes(8)

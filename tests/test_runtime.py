@@ -1,0 +1,332 @@
+"""Batch runtime tests: mergeable counts, chunk planning, backend
+determinism (serial vs. process pool), adaptive early stopping, stats,
+and jobs resolution."""
+
+import pytest
+
+from repro.adversaries import strategy_space_for_protocol
+from repro.analysis import (
+    assess_protocol,
+    balance_profile,
+    estimate_utility,
+    measure_reconstruction_rounds,
+    opt2sfe_outcome_distributions,
+    run_batch,
+    run_stats_to_dict,
+    sweep_strategies,
+    to_dict,
+)
+from repro.core import FairnessEvent, PayoffVector
+from repro.core.utility import EventCounts
+from repro.functions import make_and, make_concat, make_swap
+from repro.protocols import (
+    DummyProtocol,
+    GordonKatzProtocol,
+    Opt2SfeProtocol,
+    OptNSfeProtocol,
+)
+from repro.runtime import (
+    CiWidthStop,
+    ExecutionTask,
+    ProcessPoolRunner,
+    RunStats,
+    SerialRunner,
+    UtilityBoundStop,
+    default_chunk_size,
+    merge_partials,
+    plan_chunks,
+    resolve_jobs,
+    resolve_runner,
+)
+
+GAMMA = PayoffVector(0.0, 0.0, 1.0, 0.5)
+
+
+def pool(jobs, chunk_size=None):
+    """A pool runner that never falls back to serial for small batches."""
+    return ProcessPoolRunner(jobs, chunk_size=chunk_size, min_parallel_runs=0)
+
+
+# -- EventCounts merge primitive --------------------------------------------
+
+
+class TestEventCountsMerge:
+    def test_merge_sums_counts(self):
+        a = EventCounts()
+        b = EventCounts()
+        a.record(FairnessEvent.E10, frozenset({0}))
+        a.record(FairnessEvent.E11, frozenset({0}))
+        b.record(FairnessEvent.E10, frozenset({1}))
+        out = a.merge(b)
+        assert out is a
+        assert a.counts[FairnessEvent.E10] == 2
+        assert a.counts[FairnessEvent.E11] == 1
+        assert a.total == 3
+
+    def test_merge_sums_corruption_counts(self):
+        a = EventCounts()
+        b = EventCounts()
+        a.record(FairnessEvent.E00, frozenset({0}))
+        b.record(FairnessEvent.E00, frozenset({0}))
+        b.record(FairnessEvent.E00, frozenset({0, 1}))
+        a.merge(b)
+        assert a.corruption_counts[frozenset({0})] == 2
+        assert a.corruption_counts[frozenset({0, 1})] == 1
+
+    def test_add_is_non_destructive(self):
+        a = EventCounts()
+        b = EventCounts()
+        a.record(FairnessEvent.E10)
+        b.record(FairnessEvent.E01)
+        c = a + b
+        assert c.total == 2
+        assert a.total == 1 and b.total == 1
+        assert c.counts[FairnessEvent.E10] == 1
+        assert c.counts[FairnessEvent.E01] == 1
+
+    def test_add_rejects_non_counts(self):
+        with pytest.raises(TypeError):
+            EventCounts() + 3
+
+    def test_chunked_recording_equals_single_batch(self):
+        whole = EventCounts()
+        parts = [EventCounts() for _ in range(3)]
+        events = [FairnessEvent.E10, FairnessEvent.E11, FairnessEvent.E00] * 4
+        for i, event in enumerate(events):
+            whole.record(event, frozenset({i % 2}))
+            parts[i % 3].record(event, frozenset({i % 2}))
+        merged = parts[0] + parts[1] + parts[2]
+        assert merged == whole
+
+
+# -- chunk planning and generic merging -------------------------------------
+
+
+class TestChunkPlanning:
+    def test_plan_partitions_range(self):
+        for n in (1, 7, 16, 100, 601):
+            spans = plan_chunks(n, 13)
+            assert spans[0][0] == 0 and spans[-1][1] == n
+            for (_, stop), (start, _) in zip(spans, spans[1:]):
+                assert stop == start
+
+    def test_default_chunk_size_ignores_jobs(self):
+        # The plan must be a pure function of n_runs so early stopping
+        # halts at the same run index under every backend.
+        assert default_chunk_size(600) == default_chunk_size(600)
+        assert plan_chunks(600) == plan_chunks(600)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            plan_chunks(0)
+
+    def test_merge_partials_tuples_and_ints(self):
+        assert merge_partials(2, 3) == 5
+        assert merge_partials((1, 2), (3, 4)) == (4, 6)
+        with pytest.raises(ValueError):
+            merge_partials((1,), (1, 2))
+
+
+# -- backend determinism ----------------------------------------------------
+
+
+def _protocol_zoo():
+    return [
+        DummyProtocol(make_swap(8)),
+        Opt2SfeProtocol(make_swap(8)),
+        GordonKatzProtocol(make_and(), p=2),
+    ]
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+@pytest.mark.parametrize("proto_idx", [0, 1, 2], ids=["dummy", "opt-2sfe", "gk"])
+def test_serial_and_pool_are_bit_identical(proto_idx, jobs):
+    protocol = _protocol_zoo()[proto_idx]
+    factories = strategy_space_for_protocol(protocol)[:3]
+    serial = sweep_strategies(
+        protocol, factories, GAMMA, n_runs=40, seed=(11, protocol.name)
+    )
+    parallel = sweep_strategies(
+        protocol,
+        factories,
+        GAMMA,
+        n_runs=40,
+        seed=(11, protocol.name),
+        runner=pool(jobs, chunk_size=10),
+    )
+    assert serial == parallel  # identical UtilityEstimate dataclasses
+
+
+def test_run_batch_counts_identical_across_backends():
+    protocol = Opt2SfeProtocol(make_swap(8))
+    factory = strategy_space_for_protocol(protocol)[1]
+    serial = run_batch(protocol, factory, 60, seed=5)
+    parallel = run_batch(
+        protocol, factory, 60, seed=5, runner=pool(3, chunk_size=7)
+    )
+    assert serial == parallel
+    assert parallel.total == 60
+
+
+def test_assess_protocol_identical_across_backends():
+    protocol = GordonKatzProtocol(make_and(), p=2)
+    space = strategy_space_for_protocol(protocol)[:4]
+    a = assess_protocol(protocol, space, GAMMA, n_runs=30, seed=2)
+    b = assess_protocol(
+        protocol, space, GAMMA, n_runs=30, seed=2, runner=pool(2)
+    )
+    assert a.utility == b.utility
+    assert a.best_attack == b.best_attack
+
+
+def test_balance_profile_identical_across_backends():
+    from repro.adversaries import LockWatchingAborter, fixed
+
+    protocol = OptNSfeProtocol(make_concat(3, 8))
+    factories = {
+        t: [fixed(f"lw{t}", lambda t=t: LockWatchingAborter(set(range(t))))]
+        for t in range(1, 3)
+    }
+    a = balance_profile(protocol, factories, GAMMA, n_runs=20, seed=1)
+    b = balance_profile(
+        protocol, factories, GAMMA, n_runs=20, seed=1, runner=pool(2)
+    )
+    assert a.per_t == b.per_t
+
+
+def test_simulation_distributions_identical_across_backends():
+    from repro.adversaries.aborting import AbortAtRound
+
+    builder = lambda: AbortAtRound({0}, 1)  # noqa: E731
+    serial = opt2sfe_outcome_distributions(builder, 0, n_runs=30, seed=9, bits=8)
+    parallel = opt2sfe_outcome_distributions(
+        builder, 0, n_runs=30, seed=9, bits=8, runner=pool(2, chunk_size=8)
+    )
+    assert serial == parallel
+
+
+def test_reconstruction_identical_across_backends():
+    protocol = Opt2SfeProtocol(make_swap(8))
+    a = measure_reconstruction_rounds(protocol, n_runs=20, seed=4)
+    b = measure_reconstruction_rounds(
+        protocol, n_runs=20, seed=4, runner=pool(2)
+    )
+    assert a == b
+
+
+# -- adaptive early stopping ------------------------------------------------
+
+
+def test_early_stop_spends_less_than_budget():
+    protocol = Opt2SfeProtocol(make_swap(8))
+    factory = strategy_space_for_protocol(protocol)[1]
+    rule = UtilityBoundStop(GAMMA, bound=0.95, min_runs=32)
+    counts = run_batch(protocol, factory, 400, seed=3, early_stop=rule)
+    assert counts.total < 400
+    assert counts.run_stats.stopped_early
+
+    # Without a rule the full budget is spent.
+    full = run_batch(protocol, factory, 100, seed=3)
+    assert full.total == 100
+    assert not full.run_stats.stopped_early
+
+
+def test_early_stop_same_cutoff_serial_and_pool():
+    protocol = Opt2SfeProtocol(make_swap(8))
+    factory = strategy_space_for_protocol(protocol)[1]
+    rule = UtilityBoundStop(GAMMA, bound=0.95, min_runs=16)
+    serial = run_batch(
+        protocol, factory, 300, seed=8, runner=SerialRunner(chunk_size=25),
+        early_stop=rule,
+    )
+    parallel = run_batch(
+        protocol, factory, 300, seed=8, runner=pool(3, chunk_size=25),
+        early_stop=rule,
+    )
+    assert serial == parallel
+    assert serial.total < 300
+
+    # Chunk boundaries are deterministic, so the cutoff is stable.
+    again = run_batch(
+        protocol, factory, 300, seed=8, runner=SerialRunner(chunk_size=25),
+        early_stop=rule,
+    )
+    assert again == serial
+
+
+def test_ci_width_stop():
+    protocol = DummyProtocol(make_swap(8))
+    factory = strategy_space_for_protocol(protocol)[0]
+    rule = CiWidthStop(GAMMA, width=2.0, min_runs=16)  # trivially wide
+    counts = run_batch(protocol, factory, 200, seed=0, early_stop=rule)
+    assert counts.total < 200
+
+    est = estimate_utility(
+        protocol, factory, GAMMA, n_runs=200, seed=0, early_stop=rule
+    )
+    assert est.n_runs == counts.total
+
+
+# -- jobs resolution and stats ----------------------------------------------
+
+
+class TestJobsResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+        assert isinstance(resolve_runner(None), ProcessPoolRunner)
+
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        assert isinstance(resolve_runner(None), SerialRunner)
+
+    def test_zero_means_all_cpus(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestRunStats:
+    def test_run_batch_attaches_stats(self):
+        protocol = DummyProtocol(make_swap(8))
+        factory = strategy_space_for_protocol(protocol)[0]
+        counts = run_batch(protocol, factory, 50, seed=1)
+        stats = counts.run_stats
+        assert isinstance(stats, RunStats)
+        assert stats.requested == stats.executions == 50
+        assert stats.backend == "serial"
+        assert stats.wall_clock_s > 0
+        assert stats.executions_per_sec > 0
+
+    def test_pool_stats_and_export(self):
+        protocol = DummyProtocol(make_swap(8))
+        factories = strategy_space_for_protocol(protocol)[:2]
+        runner = pool(2, chunk_size=10)
+        sweep_strategies(protocol, factories, GAMMA, n_runs=30, runner=runner)
+        stats = runner.last_stats
+        assert stats.backend == "process-pool"
+        assert stats.jobs == 2
+        assert stats.n_tasks == 2
+        assert stats.n_chunks == 6
+        assert stats.executions == 60
+        d = to_dict(stats)
+        assert d == run_stats_to_dict(stats)
+        assert d["backend"] == "process-pool"
+        assert d["executions_per_sec"] == stats.executions_per_sec
+
+    def test_small_batches_fall_back_to_serial(self):
+        protocol = DummyProtocol(make_swap(8))
+        factory = strategy_space_for_protocol(protocol)[0]
+        runner = ProcessPoolRunner(4)  # default small-batch threshold
+        runner.run_one(ExecutionTask(protocol, factory, 10, seed=0))
+        assert runner.last_stats.backend == "serial"
