@@ -1,4 +1,5 @@
-"""Runtime scaling — serial vs. process-pool Monte-Carlo throughput.
+"""Runtime scaling — serial vs. process-pool Monte-Carlo throughput,
+plus the cost of fault tolerance.
 
 A ``sweep_strategies`` workload of ≥ 2400 total executions (the full
 ΠOpt2SFE standard strategy space) is run once through ``SerialRunner``
@@ -8,6 +9,12 @@ parallel run, and executions/sec for both backends go into the benchmark
 JSON trajectory via ``extra_info``.  The ≥ 2× speedup assertion is gated
 on the host actually having ≥ 4 CPUs — on smaller machines the numbers
 are recorded without a verdict.
+
+A third pass re-runs the pool sweep with deterministic fault injection
+(``FaultSpec``) so the trajectory also tracks the recovery machinery:
+failed attempts, in-pool retries, serial replays, and the throughput
+penalty of absorbing them — with the hard assertion that the recovered
+results are bit-identical to the failure-free ones.
 """
 
 import os
@@ -23,10 +30,11 @@ from repro.analysis import sweep_strategies
 from repro.core import STANDARD_GAMMA
 from repro.functions import make_swap
 from repro.protocols import Opt2SfeProtocol
-from repro.runtime import ProcessPoolRunner, SerialRunner
+from repro.runtime import FaultSpec, ProcessPoolRunner, RetryPolicy, SerialRunner
 
 RUNS = 150  # × 16 strategies = 2400 executions per backend
 JOBS = 4
+FAULT_RATE = 0.1
 
 
 def _workload():
@@ -59,6 +67,21 @@ def test_runtime_scaling(benchmark, capsys):
     # Determinism first: the speedup must not change a single count.
     assert parallel_estimates == serial_estimates
 
+    # Fault-injected pass: same sweep, deterministic chunk failures.  The
+    # recovery ladder (in-pool retries, then in-process replay) must hand
+    # back bit-identical estimates; the throughput penalty is recorded.
+    faulty_pool = ProcessPoolRunner(
+        JOBS,
+        min_parallel_runs=0,
+        retry=RetryPolicy(max_retries=2, backoff_s=0.01),
+        fault=FaultSpec(rate=FAULT_RATE, seed="bench-faults"),
+    )
+    faulty_estimates = sweep_strategies(
+        protocol, space, STANDARD_GAMMA, RUNS, seed="scaling", runner=faulty_pool
+    )
+    fault_stats = faulty_pool.last_stats
+    assert faulty_estimates == serial_estimates
+
     speedup = pool_stats.executions_per_sec / serial_stats.executions_per_sec
     cpus = os.cpu_count() or 1
     benchmark.extra_info.update(
@@ -69,6 +92,16 @@ def test_runtime_scaling(benchmark, capsys):
             "jobs": JOBS,
             "cpus": cpus,
             "speedup": round(speedup, 3),
+            "fault_rate": FAULT_RATE,
+            "fault_eps": round(fault_stats.executions_per_sec, 1),
+            "fault_failed_attempts": fault_stats.failed_attempts,
+            "fault_retries": fault_stats.retries,
+            "fault_serial_replays": fault_stats.serial_replays,
+            "fault_overhead": round(
+                pool_stats.executions_per_sec
+                / max(fault_stats.executions_per_sec, 1e-9),
+                3,
+            ),
         }
     )
 
@@ -98,6 +131,15 @@ def test_runtime_scaling(benchmark, capsys):
                 f"{pool_stats.wall_clock_s:.2f}",
                 f"{pool_stats.executions_per_sec:.0f}",
                 f"{speedup:.2f}x {verdict}",
+            ],
+            [
+                f"{fault_stats.backend}+faults",
+                fault_stats.executions,
+                f"{fault_stats.wall_clock_s:.2f}",
+                f"{fault_stats.executions_per_sec:.0f}",
+                f"{fault_stats.failed_attempts} failures absorbed "
+                f"({fault_stats.retries} retries, "
+                f"{fault_stats.serial_replays} replays)",
             ],
         ],
     )

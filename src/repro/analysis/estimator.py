@@ -30,7 +30,13 @@ from ..core.utility import (
     estimate_from_counts,
 )
 from ..crypto.prf import Rng
-from ..runtime import BatchRunner, EarlyStopRule, ExecutionTask, resolve_runner
+from ..runtime import (
+    BatchRunner,
+    EarlyStopRule,
+    ExecutionTask,
+    MeasuredCounts,
+    resolve_runner,
+)
 
 InputSampler = Callable[[Rng], tuple]
 
@@ -51,16 +57,18 @@ def run_batch(
 ) -> EventCounts:
     """Run ``n_runs`` executions, returning the event counts.
 
-    The returned object carries the batch's :class:`RunStats` in a
-    ``run_stats`` attribute (wall clock, executions/sec, backend).
+    The result is a :class:`~repro.runtime.MeasuredCounts` — an
+    :class:`EventCounts` that carries the batch's :class:`RunStats`
+    (wall clock, executions/sec, backend, retry/degradation counters) as
+    an explicit ``run_stats`` attribute rather than a monkey-patched one,
+    so it survives pickling; merging folds back into plain event counts.
     """
     if n_runs <= 0:
         raise ValueError("need at least one run")
     task = ExecutionTask(protocol, adversary_factory, n_runs, seed, input_sampler)
     active = _runner_for(runner, jobs)
     counts = active.run_one(task, early_stop=early_stop)
-    counts.run_stats = active.last_stats
-    return counts
+    return MeasuredCounts(counts, active.last_stats)
 
 
 def estimate_utility(
@@ -161,24 +169,30 @@ def balance_profile(
     gamma: PayoffVector,
     n_runs: int = 400,
     seed=0,
+    input_sampler: Optional[InputSampler] = None,
     jobs: Optional[int] = None,
     runner: Optional[BatchRunner] = None,
+    early_stop: Optional[EarlyStopRule] = None,
 ) -> BalanceProfile:
     """Measure the best t-adversary's utility for each t in 1..n−1.
 
     ``factories_per_t[t]`` is the list of t-corruption strategies to sweep.
     Every (t, strategy) batch is fanned out in a single runner call.
+    ``input_sampler`` and ``early_stop`` pass through to the tasks/runner
+    exactly as in every sibling estimator entry point.
     """
     n = protocol.n_parties
     tasks, keys = [], []
     for t in range(1, n):
         for idx, factory in enumerate(factories_per_t[t]):
             tasks.append(
-                ExecutionTask(protocol, factory, n_runs, ((seed, "t", t), idx))
+                ExecutionTask(
+                    protocol, factory, n_runs, ((seed, "t", t), idx), input_sampler
+                )
             )
             keys.append((t, factory))
     active = _runner_for(runner, jobs)
-    counts_list = active.run(tasks)
+    counts_list = active.run(tasks, early_stop=early_stop)
     estimates_per_t: dict = {}
     for (t, factory), counts in zip(keys, counts_list):
         estimates_per_t.setdefault(t, []).append(

@@ -17,7 +17,7 @@ from ..core.balance import BalanceProfile
 from ..core.fairness import ProtocolAssessment
 from ..core.payoff import PayoffVector
 from ..core.utility import UtilityEstimate
-from ..runtime import RunStats
+from ..runtime import ChunkStats, RunStats
 from .comparison import FairnessOrder
 from .reconstruction import ReconstructionMeasurement
 
@@ -102,6 +102,18 @@ def reconstruction_to_dict(m: ReconstructionMeasurement) -> dict:
     }
 
 
+def chunk_stats_to_dict(chunk: ChunkStats) -> dict:
+    return {
+        "task_index": chunk.task_index,
+        "start": chunk.start,
+        "stop": chunk.stop,
+        "attempts": chunk.attempts,
+        "outcome": chunk.outcome,
+        "backend": chunk.backend,
+        "wall_clock_s": chunk.wall_clock_s,
+    }
+
+
 def run_stats_to_dict(stats: RunStats) -> dict:
     return {
         "backend": stats.backend,
@@ -113,6 +125,13 @@ def run_stats_to_dict(stats: RunStats) -> dict:
         "wall_clock_s": stats.wall_clock_s,
         "executions_per_sec": stats.executions_per_sec,
         "stopped_early": stats.stopped_early,
+        "failed_attempts": stats.failed_attempts,
+        "retries": stats.retries,
+        "timeouts": stats.timeouts,
+        "serial_replays": stats.serial_replays,
+        "cancelled_chunks": stats.cancelled_chunks,
+        "degraded": stats.degraded,
+        "chunks": [chunk_stats_to_dict(c) for c in stats.chunks],
     }
 
 
@@ -125,6 +144,7 @@ _EXPORTERS = {
     ReconstructionMeasurement: reconstruction_to_dict,
     PayoffVector: gamma_to_dict,
     RunStats: run_stats_to_dict,
+    ChunkStats: chunk_stats_to_dict,
 }
 
 

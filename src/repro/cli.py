@@ -12,12 +12,18 @@ Commands
 All measurements are Monte-Carlo; ``--runs`` and ``--seed`` control the
 budget and reproducibility, and ``--jobs`` (or the ``REPRO_JOBS``
 environment variable) fans batches out over worker processes without
-changing any result.
+changing any result.  ``--max-retries`` and ``--chunk-timeout`` tune the
+runtime's failure semantics (failed or stalled chunks are re-executed,
+bit-identically, before degrading to in-process replay), and ``--stats``
+appends a JSON dump of every batch's ``RunStats`` — including retry and
+degradation counters — after the command output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+from dataclasses import replace
 from typing import Dict, List
 
 from .adversaries import (
@@ -34,6 +40,7 @@ from .analysis import (
     measure_reconstruction_rounds,
     utility_curve,
 )
+from .analysis import run_stats_to_dict
 from .core import (
     PayoffVector,
     balanced_sum_bound,
@@ -41,6 +48,7 @@ from .core import (
     monte_carlo_tolerance,
 )
 from .functions import make_concat, make_contract_exchange, make_swap
+from .runtime import RetryPolicy, resolve_runner
 
 
 def _protocol_registry(n: int) -> Dict[str, object]:
@@ -121,6 +129,26 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_JOBS or 1; 0 = all CPUs)",
     )
     parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="in-pool retries per failed chunk before degrading to "
+        "in-process replay (default: $REPRO_MAX_RETRIES or 2)",
+    )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        help="per-chunk wall-clock deadline in seconds for pool backends "
+        "(default: $REPRO_CHUNK_TIMEOUT or no deadline)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="dump each batch's RunStats (throughput + retry/degradation "
+        "counters) as JSON after the command output",
+    )
+    parser.add_argument(
         "--gamma",
         type=_parse_gamma,
         default=PayoffVector(0.0, 0.0, 1.0, 0.5),
@@ -182,7 +210,7 @@ def cmd_compare(args, registry) -> str:
                 args.gamma,
                 args.runs,
                 seed=(args.seed, name),
-                jobs=args.jobs,
+                runner=args.runner,
             )
         )
     order = build_order(
@@ -196,7 +224,7 @@ def cmd_attack(args, registry) -> str:
     protocol = _get(registry, args.protocol)
     space = strategy_space_for_protocol(protocol)
     assessment = assess_protocol(
-        protocol, space, args.gamma, args.runs, seed=args.seed, jobs=args.jobs
+        protocol, space, args.gamma, args.runs, seed=args.seed, runner=args.runner
     )
     best = assessment.best_attack
     lines = [
@@ -223,7 +251,7 @@ def cmd_balance(args, registry) -> str:
         for t in range(1, n)
     }
     profile = balance_profile(
-        protocol, factories, gamma, args.runs, args.seed, jobs=args.jobs
+        protocol, factories, gamma, args.runs, args.seed, runner=args.runner
     )
     rows = [[t, f"{profile.per_t[t].mean:.4f}"] for t in range(1, n)]
     tol = (n - 1) * monte_carlo_tolerance(args.runs, spread=gamma.gamma10)
@@ -241,7 +269,7 @@ def cmd_balance(args, registry) -> str:
 def cmd_reconstruction(args, registry) -> str:
     protocol = _get(registry, args.protocol)
     m = measure_reconstruction_rounds(
-        protocol, n_runs=args.runs, seed=args.seed, jobs=args.jobs
+        protocol, n_runs=args.runs, seed=args.seed, runner=args.runner
     )
     rows = [[r, f"{p:.3f}"] for r, p in sorted(m.unfair_probability.items())]
     return "\n".join(
@@ -259,8 +287,12 @@ def cmd_curve(args, registry) -> str:
     if a.n_parties != b.n_parties:
         raise SystemExit("protocols must have the same party count")
     gamma = args.gamma.require_fair_plus()
-    curve_a = utility_curve(a, gamma, args.runs, seed=(args.seed, "a"), jobs=args.jobs)
-    curve_b = utility_curve(b, gamma, args.runs, seed=(args.seed, "b"), jobs=args.jobs)
+    curve_a = utility_curve(
+        a, gamma, args.runs, seed=(args.seed, "a"), runner=args.runner
+    )
+    curve_b = utility_curve(
+        b, gamma, args.runs, seed=(args.seed, "b"), runner=args.runner
+    )
     rows = [
         [t, f"{curve_a.value(t):.4f}", f"{curve_b.value(t):.4f}"]
         for t in sorted(curve_a.points)
@@ -286,8 +318,22 @@ COMMANDS = {
 }
 
 
+def _build_runner(args):
+    """One runner for the whole command, so ``--stats`` sees every batch."""
+    retry = RetryPolicy.from_env()
+    if args.max_retries is not None:
+        retry = replace(retry, max_retries=max(0, args.max_retries))
+    if args.chunk_timeout is not None:
+        retry = replace(retry, chunk_timeout_s=args.chunk_timeout)
+    return resolve_runner(args.jobs, retry=retry)
+
+
 def main(argv: List[str] = None) -> int:
     args = build_parser().parse_args(argv)
+    args.runner = _build_runner(args)
     registry = _protocol_registry(args.parties)
     print(COMMANDS[args.command](args, registry))
+    if args.stats:
+        history = [run_stats_to_dict(s) for s in args.runner.stats_history]
+        print(json.dumps(history, indent=2, sort_keys=True))
     return 0

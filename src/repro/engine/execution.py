@@ -170,11 +170,14 @@ class Execution:
             rounds_used = round_no + 1
 
             # 5. Early termination once every honest party has output and no
-            #    functionality responses are still undelivered.
-            honest_done = all(
-                self.runners[i].output is not None
-                for i in range(self.n)
-                if i not in self.corrupted
+            #    functionality responses are still undelivered.  With every
+            #    party corrupted there is no honest output to wait for, but
+            #    ``all`` over the empty set would be vacuously True and end
+            #    the execution at round 1 regardless of protocol logic —
+            #    instead the adversary keeps its full round bound.
+            honest = [i for i in range(self.n) if i not in self.corrupted]
+            honest_done = bool(honest) and all(
+                self.runners[i].output is not None for i in honest
             )
             pending_delivery = any(len(inboxes[i]) for i in range(self.n))
             if honest_done and not pending_delivery:

@@ -1,13 +1,30 @@
-"""Parallel Monte-Carlo runtime: batch runners, tasks, early stopping.
+"""Parallel Monte-Carlo runtime: batch runners, tasks, early stopping,
+failure semantics.
 
 The analysis layer expresses every measurement as a list of tasks and
 hands them to a :class:`BatchRunner`; :class:`SerialRunner` replays the
 historical in-process loop, :class:`ProcessPoolRunner` fans chunks out
 over worker processes.  Both produce bit-identical results for the same
-seed — see docs/architecture.md ("Measurement runtime").
+seed — and both recover from failed chunk attempts through the retry
+ladder in ``runtime.retry`` (bounded retries, then trusted serial
+replay), so a crashed worker can never bias a measured event frequency.
+See docs/architecture.md ("Measurement runtime" / "Failure semantics").
 """
 
 from .early_stop import CiWidthStop, EarlyStopRule, UtilityBoundStop
+from .retry import (
+    ENV_CHUNK_TIMEOUT,
+    ENV_FAULT_KIND,
+    ENV_FAULT_RATE,
+    ENV_FAULT_SEED,
+    ENV_MAX_RETRIES,
+    NO_FAULTS,
+    ChunkTimeout,
+    FaultSpec,
+    InjectedFault,
+    RetryPolicy,
+    run_task_chunk,
+)
 from .runner import (
     REPRO_JOBS_ENV,
     SMALL_BATCH_THRESHOLD,
@@ -17,7 +34,7 @@ from .runner import (
     resolve_jobs,
     resolve_runner,
 )
-from .stats import RunStats
+from .stats import ChunkStats, MeasuredCounts, RunStats
 from .tasks import (
     ExecutionTask,
     default_chunk_size,
@@ -31,6 +48,14 @@ __all__ = [
     "ProcessPoolRunner",
     "ExecutionTask",
     "RunStats",
+    "ChunkStats",
+    "MeasuredCounts",
+    "RetryPolicy",
+    "FaultSpec",
+    "InjectedFault",
+    "ChunkTimeout",
+    "NO_FAULTS",
+    "run_task_chunk",
     "EarlyStopRule",
     "UtilityBoundStop",
     "CiWidthStop",
@@ -41,4 +66,9 @@ __all__ = [
     "plan_chunks",
     "REPRO_JOBS_ENV",
     "SMALL_BATCH_THRESHOLD",
+    "ENV_MAX_RETRIES",
+    "ENV_CHUNK_TIMEOUT",
+    "ENV_FAULT_RATE",
+    "ENV_FAULT_KIND",
+    "ENV_FAULT_SEED",
 ]

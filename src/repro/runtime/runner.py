@@ -18,6 +18,15 @@ via ``Rng(seed).fork(f"run-{k}")`` inside the task, and partials are
 merged in ascending chunk order, so both backends produce bit-identical
 results for the same seed.
 
+Failure semantics (see ``runtime.retry`` and docs/architecture.md): a
+chunk attempt that raises, breaks its worker, or misses its deadline is
+retried — in-pool with bounded backoff first, then on the final rung of
+the degradation ladder via trusted in-process serial replay with fault
+injection disabled — so a worker crash can delay a batch but never bias
+or lose it.  Every chunk leaves a :class:`~repro.runtime.stats.ChunkStats`
+record, and the batch-wide :class:`~repro.runtime.stats.RunStats` is
+recorded in a ``finally`` so ``last_stats`` survives even a failing batch.
+
 Backend selection: an explicit ``runner=`` argument wins; otherwise
 ``jobs`` (CLI ``--jobs`` / keyword) is consulted, falling back to the
 ``REPRO_JOBS`` environment variable, falling back to serial.
@@ -29,10 +38,13 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Sequence
 
 from .early_stop import EarlyStopRule
-from .stats import RunStats
+from .retry import ChunkTimeout, FaultSpec, RetryPolicy, run_task_chunk
+from .stats import BatchLog, RunStats
 from .tasks import merge_partials, plan_chunks
 
 #: Environment variable consulted when no explicit ``jobs`` is given.
@@ -40,6 +52,11 @@ REPRO_JOBS_ENV = "REPRO_JOBS"
 
 #: Batches smaller than this run serially even when a pool was requested.
 SMALL_BATCH_THRESHOLD = 64
+
+#: How many chunk deadlines a still-queued future may sit out before the
+#: wait itself is treated as a timeout (guards against a pool whose every
+#: worker is wedged on someone else's chunk).
+_QUEUE_WAIT_DEADLINES = 20
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -68,13 +85,20 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 
 def resolve_runner(
-    jobs: Optional[int] = None, chunk_size: Optional[int] = None
+    jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault: Optional[FaultSpec] = None,
 ) -> "BatchRunner":
-    """Build the runner implied by ``jobs``/``REPRO_JOBS`` (serial if ≤ 1)."""
+    """Build the runner implied by ``jobs``/``REPRO_JOBS`` (serial if ≤ 1).
+
+    ``retry``/``fault`` default to the ``REPRO_MAX_RETRIES`` /
+    ``REPRO_CHUNK_TIMEOUT`` / ``REPRO_FAULT_*`` environment knobs.
+    """
     n = resolve_jobs(jobs)
     if n <= 1:
-        return SerialRunner(chunk_size=chunk_size)
-    return ProcessPoolRunner(n, chunk_size=chunk_size)
+        return SerialRunner(chunk_size=chunk_size, retry=retry, fault=fault)
+    return ProcessPoolRunner(n, chunk_size=chunk_size, retry=retry, fault=fault)
 
 
 def _fork_available() -> bool:
@@ -82,18 +106,29 @@ def _fork_available() -> bool:
 
 
 class BatchRunner:
-    """Common chunking/merging/stats machinery for both backends."""
+    """Common chunking/merging/retry/stats machinery for both backends."""
 
     backend = "abstract"
 
-    def __init__(self, chunk_size: Optional[int] = None):
+    def __init__(
+        self,
+        chunk_size: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault: Optional[FaultSpec] = None,
+    ):
         self.chunk_size = chunk_size
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
+        fault = fault if fault is not None else FaultSpec.from_env()
+        self.fault = fault if fault is not None and fault.active else None
         self.last_stats: Optional[RunStats] = None
+        #: Every batch's RunStats, oldest first (the CLI ``--stats`` dump).
+        self.stats_history: List[RunStats] = []
 
     def run(self, tasks: Sequence, early_stop: Optional[EarlyStopRule] = None) -> List:
         """Run every task to completion; return one merged value per task.
 
-        Also records a batch-wide :class:`RunStats` in ``self.last_stats``.
+        Also records a batch-wide :class:`RunStats` in ``self.last_stats``
+        (even when the batch ultimately raises).
         """
         raise NotImplementedError
 
@@ -108,17 +143,58 @@ class BatchRunner:
         # rule at identical run indices.
         return plan_chunks(task.n_runs, self.chunk_size)
 
-    def _record(self, n_tasks, n_chunks, requested, executions, t0, stopped):
+    def _record(self, n_tasks, requested, t0, stopped, log: BatchLog) -> None:
         self.last_stats = RunStats(
             backend=self.backend,
             jobs=getattr(self, "jobs", 1),
             n_tasks=n_tasks,
-            n_chunks=n_chunks,
+            n_chunks=log.n_chunks,
             requested=requested,
-            executions=executions,
+            executions=log.executions,
             wall_clock_s=time.perf_counter() - t0,
             stopped_early=stopped,
+            failed_attempts=log.failed_attempts,
+            retries=log.retries,
+            timeouts=log.timeouts,
+            serial_replays=log.serial_replays,
+            cancelled_chunks=log.cancelled,
+            chunks=tuple(log.chunks),
         )
+        self.stats_history.append(self.last_stats)
+
+    def _serial_chunk(self, task, ti, start, stop, log: BatchLog):
+        """In-process chunk execution with the full retry ladder.
+
+        Injected faults are retried up to ``max_retries`` times and then
+        bypassed entirely on the trusted replay rung; a genuine task bug
+        raises again there and propagates (after the stats are logged by
+        the caller's ``finally``).
+        """
+        t0 = time.perf_counter()
+        policy = self.retry
+        for attempt in range(policy.max_retries + 1):
+            try:
+                part = run_task_chunk(
+                    task, ti, start, stop, attempt, self.fault, in_worker=False
+                )
+                outcome = "ok" if attempt == 0 else "retried"
+                log.chunk(
+                    ti, start, stop, attempt + 1, outcome, "serial",
+                    time.perf_counter() - t0,
+                )
+                return part
+            except Exception:
+                log.failed_attempts += 1
+                if attempt < policy.max_retries:
+                    log.retries += 1
+                    time.sleep(policy.backoff_for(attempt + 1))
+        # Retries exhausted: trusted replay, fault injection disabled.
+        part = task.run_chunk(start, stop)
+        log.chunk(
+            ti, start, stop, policy.max_retries + 2, "replayed", "serial",
+            time.perf_counter() - t0,
+        )
+        return part
 
 
 class SerialRunner(BatchRunner):
@@ -130,34 +206,34 @@ class SerialRunner(BatchRunner):
     def run(self, tasks: Sequence, early_stop: Optional[EarlyStopRule] = None) -> List:
         tasks = list(tasks)
         t0 = time.perf_counter()
+        log = BatchLog()
         values: List = []
-        n_chunks = executions = 0
         stopped_any = False
-        for task in tasks:
-            if early_stop is None:
-                # Single sweep: identical result, no merge overhead.
-                value = task.run_chunk(0, task.n_runs)
-                n_chunks += 1
-                executions += task.n_runs
-            else:
+        requested = sum(t.n_runs for t in tasks)
+        try:
+            for ti, task in enumerate(tasks):
+                if early_stop is None:
+                    # Single sweep: identical result, no merge overhead.
+                    spans = [(0, task.n_runs)]
+                else:
+                    spans = self._plan(task)
                 value = None
-                for start, stop in self._plan(task):
-                    part = task.run_chunk(start, stop)
-                    n_chunks += 1
-                    executions += stop - start
+                for start, stop in spans:
+                    part = self._serial_chunk(task, ti, start, stop, log)
                     value = part if value is None else merge_partials(value, part)
-                    if early_stop.should_stop(value):
+                    if early_stop is not None and early_stop.should_stop(value):
                         stopped_any = True
                         break
-            values.append(value)
-        requested = sum(t.n_runs for t in tasks)
-        self._record(len(tasks), n_chunks, requested, executions, t0, stopped_any)
+                values.append(value)
+        finally:
+            self._record(len(tasks), requested, t0, stopped_any, log)
         return values
 
 
 # -- process-pool worker side ------------------------------------------------
 # Workers are forked, so they see the parent's task list through this
-# module-level slot; submitted work items carry only index triples.
+# module-level slot; submitted work items carry only index triples (plus
+# the attempt number and fault spec, both picklable).
 
 _WORKER_TASKS: Sequence = ()
 
@@ -167,8 +243,15 @@ def _worker_init(tasks: Sequence) -> None:
     _WORKER_TASKS = tasks
 
 
-def _worker_run_chunk(task_index: int, start: int, stop: int):
-    return _WORKER_TASKS[task_index].run_chunk(start, stop)
+def _worker_run_chunk(
+    task_index: int,
+    start: int,
+    stop: int,
+    attempt: int = 0,
+    fault: Optional[FaultSpec] = None,
+):
+    task = _WORKER_TASKS[task_index]
+    return run_task_chunk(task, task_index, start, stop, attempt, fault, in_worker=True)
 
 
 class ProcessPoolRunner(BatchRunner):
@@ -178,6 +261,13 @@ class ProcessPoolRunner(BatchRunner):
     parallelises across strategies *and* within each strategy's run
     range).  Falls back to :class:`SerialRunner` when the batch is tiny,
     only one worker is available, or the platform cannot fork.
+
+    Failure handling per chunk, in order: bounded in-pool retries with
+    backoff (fresh future, incremented attempt number), then — on retry
+    exhaustion, a broken pool, or a pool that refuses submissions —
+    trusted in-process serial replay with fault injection disabled.  The
+    replay is sound because ``run_chunk(start, stop)`` is a pure function
+    of ``(task, seed, span)``.
     """
 
     backend = "process-pool"
@@ -187,8 +277,10 @@ class ProcessPoolRunner(BatchRunner):
         jobs: int,
         chunk_size: Optional[int] = None,
         min_parallel_runs: int = SMALL_BATCH_THRESHOLD,
+        retry: Optional[RetryPolicy] = None,
+        fault: Optional[FaultSpec] = None,
     ):
-        super().__init__(chunk_size=chunk_size)
+        super().__init__(chunk_size=chunk_size, retry=retry, fault=fault)
         if jobs < 1:
             raise ValueError("ProcessPoolRunner needs at least one worker")
         self.jobs = jobs
@@ -202,26 +294,34 @@ class ProcessPoolRunner(BatchRunner):
             or requested < self.min_parallel_runs
             or not _fork_available()
         ):
-            serial = SerialRunner(chunk_size=self.chunk_size)
-            values = serial.run(tasks, early_stop=early_stop)
-            self.last_stats = serial.last_stats
-            return values
+            serial = SerialRunner(
+                chunk_size=self.chunk_size, retry=self.retry, fault=self.fault
+            )
+            try:
+                return serial.run(tasks, early_stop=early_stop)
+            finally:
+                if serial.last_stats is not None:
+                    self.last_stats = serial.last_stats
+                    self.stats_history.append(serial.last_stats)
 
         t0 = time.perf_counter()
         plans = [self._plan(task) for task in tasks]
         values: List = [None] * len(tasks)
-        n_chunks = executions = 0
+        log = BatchLog()
         stopped_any = False
+        self._pool_broken = False
         ctx = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=self.jobs,
             mp_context=ctx,
             initializer=_worker_init,
             initargs=(tasks,),
-        ) as pool:
+        )
+        submitted: List[List[tuple]] = []
+        try:
             submitted = [
                 [
-                    (span, pool.submit(_worker_run_chunk, ti, span[0], span[1]))
+                    (span, pool.submit(_worker_run_chunk, ti, span[0], span[1], 0, self.fault))
                     for span in plan
                 ]
                 for ti, plan in enumerate(plans)
@@ -232,13 +332,91 @@ class ProcessPoolRunner(BatchRunner):
                 for (start, stop), future in chunk_futures:
                     if stopped:
                         future.cancel()
+                        log.chunk(ti, start, stop, 0, "cancelled", "pool", 0.0)
                         continue
-                    part = future.result()
-                    n_chunks += 1
-                    executions += stop - start
+                    part = self._chunk_result(
+                        pool, tasks[ti], ti, start, stop, future, log
+                    )
                     value = part if value is None else merge_partials(value, part)
                     if early_stop is not None and early_stop.should_stop(value):
                         stopped = stopped_any = True
                 values[ti] = value
-        self._record(len(tasks), n_chunks, requested, executions, t0, stopped_any)
+        finally:
+            # Satellite of the retry tentpole: a failing chunk must not
+            # orphan sibling futures or leave last_stats unset.
+            for chunk_futures in submitted:
+                for _, future in chunk_futures:
+                    future.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
+            self._record(len(tasks), requested, t0, stopped_any, log)
         return values
+
+    # -- per-chunk recovery --------------------------------------------------
+
+    def _chunk_result(self, pool, task, ti, start, stop, future, log: BatchLog):
+        """Resolve one chunk through the degradation ladder."""
+        policy = self.retry
+        t0 = time.perf_counter()
+        attempt = 0
+        while True:
+            try:
+                part = self._await(future)
+                log.chunk(
+                    ti, start, stop, attempt + 1,
+                    "ok" if attempt == 0 else "retried", "pool",
+                    time.perf_counter() - t0,
+                )
+                return part
+            except ChunkTimeout:
+                log.failed_attempts += 1
+                log.timeouts += 1
+            except BrokenProcessPool:
+                log.failed_attempts += 1
+                self._pool_broken = True
+            except Exception:
+                log.failed_attempts += 1
+            attempt += 1
+            if self._pool_broken or attempt > policy.max_retries:
+                break
+            log.retries += 1
+            time.sleep(policy.backoff_for(attempt))
+            try:
+                future = pool.submit(
+                    _worker_run_chunk, ti, start, stop, attempt, self.fault
+                )
+            except RuntimeError:  # pool broken or already shutting down
+                self._pool_broken = True
+                break
+        # Final rung: trusted in-process replay, fault injection disabled.
+        # A genuine task bug raises here and propagates (stats are still
+        # recorded by run()'s finally).
+        part = task.run_chunk(start, stop)
+        log.chunk(
+            ti, start, stop, attempt + 1, "replayed", "serial",
+            time.perf_counter() - t0,
+        )
+        return part
+
+    def _await(self, future):
+        """``future.result()`` under the policy's per-chunk deadline.
+
+        The deadline clock only runs against a chunk that has actually
+        started: a future still sitting in the queue gets its wait
+        extended (the pool is busy, not hung) — but only for a bounded
+        number of deadlines, so a pool whose every worker is wedged still
+        degrades instead of blocking forever.
+        """
+        timeout = self.retry.chunk_timeout_s
+        if timeout is None:
+            return future.result()
+        deadlines_waited = 0
+        while True:
+            try:
+                return future.result(timeout=timeout)
+            except FuturesTimeout:
+                deadlines_waited += 1
+                if future.running() or deadlines_waited >= _QUEUE_WAIT_DEADLINES:
+                    future.cancel()
+                    raise ChunkTimeout(
+                        f"chunk missed its {timeout:.3f}s deadline"
+                    ) from None

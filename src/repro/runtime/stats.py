@@ -1,21 +1,59 @@
-"""Per-batch execution statistics.
+"""Per-batch and per-chunk execution statistics.
 
 Every :class:`~repro.runtime.runner.BatchRunner` records a :class:`RunStats`
 for its most recent batch: which backend actually ran, how much work was
 requested vs. executed (the two differ when adaptive early stopping fires),
-and the realised throughput.  The struct is exported through
-``analysis.export`` so benchmark trajectories can track executions/sec
+the realised throughput, and — since the runtime grew failure semantics —
+what the recovery machinery had to do: failed attempts, in-pool retries,
+chunk deadline misses, and degradations to trusted serial replay.  Each
+completed chunk leaves a :class:`ChunkStats` record so a biased or slow
+sweep can be traced to the exact ``(task, start, stop)`` span that
+misbehaved.  The structs are exported through ``analysis.export`` so
+benchmark trajectories can track executions/sec and failure counts
 alongside the measurements themselves.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.utility import EventCounts
+
+#: Valid ``ChunkStats.outcome`` values.
+CHUNK_OUTCOMES = ("ok", "retried", "replayed", "cancelled")
+
+
+@dataclass(frozen=True)
+class ChunkStats:
+    """One chunk's journey through the runner.
+
+    ``attempts`` counts every execution attempt including the successful
+    one (1 = clean first try).  ``outcome`` is ``"ok"`` for a clean first
+    attempt, ``"retried"`` when at least one retry was needed,
+    ``"replayed"`` when the chunk exhausted its retries and completed via
+    trusted in-process serial replay, and ``"cancelled"`` when adaptive
+    early stopping dropped the chunk before it was consumed.
+    ``wall_clock_s`` is parent-observed (for pool chunks it includes any
+    queue wait and retry backoff).
+    """
+
+    task_index: int
+    start: int
+    stop: int
+    attempts: int
+    outcome: str
+    backend: str
+    wall_clock_s: float
+
+    @property
+    def n_runs(self) -> int:
+        return self.stop - self.start
 
 
 @dataclass(frozen=True)
 class RunStats:
-    """Wall-clock accounting for one runner batch."""
+    """Wall-clock and failure accounting for one runner batch."""
 
     backend: str
     jobs: int
@@ -25,6 +63,12 @@ class RunStats:
     executions: int
     wall_clock_s: float
     stopped_early: bool = False
+    failed_attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    serial_replays: int = 0
+    cancelled_chunks: int = 0
+    chunks: Tuple[ChunkStats, ...] = ()
 
     @property
     def executions_per_sec(self) -> float:
@@ -32,9 +76,92 @@ class RunStats:
             return float("inf") if self.executions else 0.0
         return self.executions / self.wall_clock_s
 
+    @property
+    def degraded(self) -> bool:
+        """Did any chunk fall off the pool onto the serial-replay rung?"""
+        return self.serial_replays > 0
+
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.backend}(jobs={self.jobs}): {self.executions}/"
             f"{self.requested} executions in {self.wall_clock_s:.3f}s "
             f"({self.executions_per_sec:.0f}/s)"
         )
+        if self.failed_attempts:
+            text += (
+                f" [{self.failed_attempts} failed attempts, "
+                f"{self.retries} retries, {self.timeouts} timeouts, "
+                f"{self.serial_replays} serial replays]"
+            )
+        return text
+
+
+class BatchLog:
+    """Mutable accumulator the runners fill in as chunks resolve.
+
+    Folded into an immutable :class:`RunStats` by
+    ``BatchRunner._record`` — kept separate so the stats can be recorded
+    in a ``finally`` even when a chunk ultimately raises.
+    """
+
+    def __init__(self):
+        self.n_chunks = 0
+        self.executions = 0
+        self.failed_attempts = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.serial_replays = 0
+        self.cancelled = 0
+        self.chunks: List[ChunkStats] = []
+
+    def chunk(
+        self,
+        task_index: int,
+        start: int,
+        stop: int,
+        attempts: int,
+        outcome: str,
+        backend: str,
+        wall_clock_s: float,
+    ) -> None:
+        self.chunks.append(
+            ChunkStats(task_index, start, stop, attempts, outcome, backend, wall_clock_s)
+        )
+        if outcome == "cancelled":
+            self.cancelled += 1
+        else:
+            self.n_chunks += 1
+            self.executions += stop - start
+            if outcome == "replayed":
+                self.serial_replays += 1
+
+
+class MeasuredCounts(EventCounts):
+    """Event counts plus the :class:`RunStats` of the batch that made them.
+
+    ``run_batch`` returns this instead of monkey-patching a ``run_stats``
+    attribute onto a plain :class:`EventCounts` (which merge/``+`` and
+    pickling silently dropped).  The stats ride along as an explicit,
+    declared attribute; merging still folds into plain ``EventCounts``
+    partials, so ``run_stats`` deliberately does not survive ``merge``/``+``
+    — it describes one finished batch, not a combination of them.
+    """
+
+    def __init__(self, counts: EventCounts, run_stats: Optional[RunStats]):
+        super().__init__(
+            counts=dict(counts.counts),
+            corruption_counts=dict(counts.corruption_counts),
+        )
+        self.run_stats = run_stats
+
+    def __eq__(self, other):
+        # Equality is by event counts alone (symmetric with EventCounts);
+        # two identical measurements with different wall clocks are equal.
+        if isinstance(other, EventCounts):
+            return (self.counts, self.corruption_counts) == (
+                other.counts,
+                other.corruption_counts,
+            )
+        return NotImplemented
+
+    __hash__ = None

@@ -78,3 +78,25 @@ class TestCommands:
     def test_curve_party_mismatch(self, capsys):
         with pytest.raises(SystemExit):
             run_cli(capsys, "curve", "pi1", "opt-nsfe")
+
+
+class TestRuntimeFlags:
+    def test_retry_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["--max-retries", "1", "--chunk-timeout", "2.5", "--stats", "zoo"]
+        )
+        assert args.max_retries == 1
+        assert args.chunk_timeout == 2.5
+        assert args.stats
+
+    def test_stats_dump_includes_failure_counters(self, capsys):
+        out = run_cli(
+            capsys,
+            "--runs", "30", "--stats", "--max-retries", "1",
+            "attack", "dummy",
+        )
+        assert "sup utility" in out
+        assert '"backend"' in out
+        assert '"serial_replays"' in out
+        assert '"failed_attempts"' in out

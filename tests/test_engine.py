@@ -270,6 +270,31 @@ class TestAdversarialExecution:
         )
         assert result.outputs[0].value == "forged"
 
+    def test_all_corrupted_runs_to_round_bound(self):
+        """Regression: with no honest parties the early-termination check
+        used to be vacuously true (``all()`` over an empty set), ending
+        the execution after round 1 and cutting the adversary's view
+        short.  A fully corrupting adversary must see every round."""
+
+        class CorruptAllAdversary(Adversary):
+            def __init__(self):
+                self.rounds_seen = []
+
+            def initial_corruptions(self, n):
+                return set(range(n))
+
+            def on_round(self, iface):
+                self.rounds_seen.append(iface.round)
+
+        protocol = PingPongProtocol()
+        adversary = CorruptAllAdversary()
+        result = run_execution(protocol, ("a", "b"), adversary, Rng(1))
+        assert result.corrupted == {0, 1}
+        assert result.honest == set()
+        assert result.rounds_used == protocol.max_rounds
+        assert adversary.rounds_seen == list(range(protocol.max_rounds))
+        assert not result.all_honest_received()
+
 
 class TestHonestRunner:
     def test_clone_independence(self):

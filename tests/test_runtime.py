@@ -194,6 +194,50 @@ def test_balance_profile_identical_across_backends():
     assert a.per_t == b.per_t
 
 
+def test_balance_profile_passes_sampler_and_early_stop_through():
+    """Regression: ``balance_profile`` silently dropped ``input_sampler``
+    and had no ``early_stop`` at all, unlike every sibling entry point."""
+    from repro.adversaries import LockWatchingAborter, fixed
+    from repro.runtime import NO_FAULTS
+
+    protocol = OptNSfeProtocol(make_concat(3, 8))
+    factories = {
+        t: [fixed(f"lw{t}", lambda t=t: LockWatchingAborter(set(range(t))))]
+        for t in range(1, 3)
+    }
+    calls = []
+
+    def sampler(rng):
+        calls.append(1)
+        return (1, 2, 3)
+
+    full = balance_profile(
+        protocol, factories, GAMMA, n_runs=60, seed=1,
+        input_sampler=sampler, runner=SerialRunner(fault=NO_FAULTS),
+    )
+    assert len(calls) == 2 * 60  # the sampler drove every execution
+    assert all(full.per_t[t].n_runs == 60 for t in (1, 2))
+
+    # Early stopping: width 2.0 is satisfied at the first chunk boundary
+    # (default chunk size 16 for a 60-run budget), so every per-t estimate
+    # halts well short of the full budget.
+    rule = CiWidthStop(GAMMA, width=2.0, min_runs=8)
+    stopped = balance_profile(
+        protocol, factories, GAMMA, n_runs=60, seed=1,
+        input_sampler=sampler, runner=SerialRunner(fault=NO_FAULTS),
+        early_stop=rule,
+    )
+    assert all(stopped.per_t[t].n_runs < 60 for t in (1, 2))
+
+    # Both passthroughs behave identically under the pool backend.
+    pooled = balance_profile(
+        protocol, factories, GAMMA, n_runs=60, seed=1,
+        input_sampler=lambda rng: (1, 2, 3), runner=pool(2, chunk_size=16),
+        early_stop=rule,
+    )
+    assert pooled.per_t == stopped.per_t
+
+
 def test_simulation_distributions_identical_across_backends():
     from repro.adversaries.aborting import AbortAtRound
 
