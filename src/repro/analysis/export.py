@@ -17,8 +17,10 @@ from ..core.balance import BalanceProfile
 from ..core.fairness import ProtocolAssessment
 from ..core.payoff import PayoffVector
 from ..core.utility import UtilityEstimate
+from ..engine.faults import EngineFaults
 from ..runtime import ChunkStats, RunStats
 from .comparison import FairnessOrder
+from .fault_sensitivity import FaultSensitivityCurve, FaultSensitivityPoint
 from .reconstruction import ReconstructionMeasurement
 
 
@@ -135,7 +137,47 @@ def run_stats_to_dict(stats: RunStats) -> dict:
     }
 
 
+def engine_faults_to_dict(faults: EngineFaults) -> dict:
+    return faults.to_dict()
+
+
+def fault_point_to_dict(point: FaultSensitivityPoint) -> dict:
+    return {
+        "loss": point.loss,
+        "crash_rate": point.crash_rate,
+        "utility": point.utility,
+        "hung_fraction": point.hung_fraction,
+        "best": estimate_to_dict(point.estimate),
+        "estimates": [estimate_to_dict(e) for e in point.estimates],
+        "faults": (
+            engine_faults_to_dict(point.faults)
+            if point.faults is not None
+            else {}
+        ),
+    }
+
+
+def fault_curve_to_dict(curve: FaultSensitivityCurve) -> dict:
+    return {
+        "protocol": curve.protocol_name,
+        "gamma": gamma_to_dict(curve.gamma),
+        "n_runs": curve.n_runs,
+        "seed": repr(curve.seed),
+        "fault_seed": repr(curve.fault_seed),
+        "points": [
+            dict(
+                fault_point_to_dict(p),
+                erosion=curve.erosion(p),
+            )
+            for p in curve.points
+        ],
+    }
+
+
 _EXPORTERS = {
+    FaultSensitivityCurve: fault_curve_to_dict,
+    FaultSensitivityPoint: fault_point_to_dict,
+    EngineFaults: engine_faults_to_dict,
     UtilityEstimate: estimate_to_dict,
     ProtocolAssessment: assessment_to_dict,
     BalanceProfile: profile_to_dict,

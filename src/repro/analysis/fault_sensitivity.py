@@ -1,0 +1,200 @@
+"""Fault-sensitivity sweeps: how fairness degrades on a faulty network.
+
+The paper's guarantees assume lossless channels; this module measures what
+a *faulty engine* does to them.  For every point of a (channel-loss rate ×
+crash probability) grid it runs the full strategy sweep under that fault
+configuration and records the best attacker's utility, the fairness-event
+distribution, and the fraction of runs in which an honest party hung
+outright — the adversarial-utility **erosion curve**.
+
+Grid points share the Monte-Carlo seed and the fault seed: run ``k`` at
+loss 0.05 and at loss 0.1 draws the *same* uniform variate per delivery
+attempt and compares it against the two thresholds, so the drop sets are
+nested (threshold coupling).  That keeps the measured curves
+monotonicity-sane at realistic run counts instead of jittering with
+independent sampling noise.
+
+All (grid point × strategy) batches go to the runner in a single call, so
+a pool backend parallelises across the whole experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.events import FairnessEvent
+from ..core.payoff import PayoffVector
+from ..core.utility import UtilityEstimate, best_utility, estimate_from_counts
+from ..engine.faults import ChannelFaultModel, EngineFaults, PartyFaultModel
+from ..runtime import BatchRunner, ExecutionTask
+from .estimator import InputSampler, _runner_for
+
+#: Default channel-loss grid for the CLI sweep.
+DEFAULT_LOSS_RATES = (0.0, 0.05, 0.1, 0.2)
+
+
+@dataclass(frozen=True)
+class FaultSensitivityPoint:
+    """One grid point: the sup-over-strategies estimate under its faults."""
+
+    loss: float
+    crash_rate: float
+    estimate: UtilityEstimate
+    estimates: Tuple[UtilityEstimate, ...]
+    hung_fraction: float
+    faults: Optional[EngineFaults]
+
+    @property
+    def utility(self) -> float:
+        return self.estimate.mean
+
+    def event_frequency(self, event: FairnessEvent) -> float:
+        return self.estimate.event_distribution.get(event, 0.0)
+
+
+@dataclass(frozen=True)
+class FaultSensitivityCurve:
+    """The erosion curve of one protocol across a fault grid."""
+
+    protocol_name: str
+    gamma: PayoffVector
+    n_runs: int
+    seed: object
+    fault_seed: object
+    points: Tuple[FaultSensitivityPoint, ...]
+
+    @property
+    def baseline(self) -> Optional[FaultSensitivityPoint]:
+        """The lossless point (loss = crash = 0), if the grid includes it."""
+        for point in self.points:
+            if point.loss == 0.0 and point.crash_rate == 0.0:
+                return point
+        return None
+
+    def erosion(self, point: FaultSensitivityPoint) -> Optional[float]:
+        """Utility shift relative to the lossless baseline.
+
+        Negative values mean the faults *cost* the attacker utility (the
+        usual case: its carefully timed abort gets pre-empted by random
+        drops); positive values mean the noise helps it.
+        """
+        base = self.baseline
+        if base is None:
+            return None
+        return point.utility - base.utility
+
+    def hung_fractions(self) -> Dict[Tuple[float, float], float]:
+        return {
+            (p.loss, p.crash_rate): p.hung_fraction for p in self.points
+        }
+
+
+def _grid(
+    loss_rates: Sequence[float], crash_rates: Sequence[float]
+) -> List[Tuple[float, float]]:
+    return [(loss, crash) for loss in loss_rates for crash in crash_rates]
+
+
+def _faults_for(
+    loss: float, crash: float, fault_seed: object, max_delay: int
+) -> Optional[EngineFaults]:
+    channel = (
+        ChannelFaultModel(loss=loss, max_delay=max_delay, seed=fault_seed)
+        if loss > 0
+        else None
+    )
+    party = (
+        PartyFaultModel(crash_rate=crash, seed=fault_seed)
+        if crash > 0
+        else None
+    )
+    if channel is None and party is None:
+        return None
+    return EngineFaults(channel=channel, party=party)
+
+
+def fault_sensitivity(
+    protocol,
+    factories: Iterable,
+    gamma: PayoffVector,
+    loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+    crash_rates: Sequence[float] = (0.0,),
+    n_runs: int = 400,
+    seed=0,
+    fault_seed=0,
+    max_delay: int = 2,
+    input_sampler: Optional[InputSampler] = None,
+    jobs: Optional[int] = None,
+    runner: Optional[BatchRunner] = None,
+) -> FaultSensitivityCurve:
+    """Sweep the fault grid; one :class:`FaultSensitivityPoint` per cell.
+
+    Each point runs every strategy in ``factories`` under that cell's
+    :class:`EngineFaults` and takes the sup, exactly as
+    :func:`~repro.analysis.estimator.assess_protocol` does on a lossless
+    network.  The Monte-Carlo seed is shared across cells (threshold
+    coupling — see the module docstring), so only the fault rates vary.
+    """
+    factories = list(factories)
+    if not factories:
+        raise ValueError("need at least one adversary strategy")
+    cells = _grid(loss_rates, crash_rates)
+    tasks, keys = [], []
+    for cell_index, (loss, crash) in enumerate(cells):
+        faults = _faults_for(loss, crash, fault_seed, max_delay)
+        for idx, factory in enumerate(factories):
+            # Seed matches sweep_strategies' (seed, idx): identical base
+            # randomness in every cell, so curves differ only by faults.
+            tasks.append(
+                ExecutionTask(
+                    protocol, factory, n_runs, (seed, idx), input_sampler,
+                    faults,
+                )
+            )
+            keys.append((cell_index, factory, faults))
+    active = _runner_for(runner, jobs)
+    counts_list = active.run(tasks)
+
+    per_cell: Dict[int, List[UtilityEstimate]] = {}
+    hung_counts: Dict[int, int] = {}
+    totals: Dict[int, int] = {}
+    cell_faults: Dict[int, Optional[EngineFaults]] = {}
+    for (cell_index, factory, faults), counts in zip(keys, counts_list):
+        cell_faults[cell_index] = faults
+        per_cell.setdefault(cell_index, []).append(
+            estimate_from_counts(
+                counts,
+                gamma,
+                protocol=protocol.name,
+                adversary=getattr(factory, "name", "adversary"),
+            )
+        )
+        hung_counts[cell_index] = hung_counts.get(cell_index, 0) + (
+            counts.counts.get(FairnessEvent.HONEST_HUNG, 0)
+        )
+        totals[cell_index] = totals.get(cell_index, 0) + counts.total
+
+    points = []
+    for cell_index, (loss, crash) in enumerate(cells):
+        estimates = per_cell[cell_index]
+        points.append(
+            FaultSensitivityPoint(
+                loss=loss,
+                crash_rate=crash,
+                estimate=best_utility(estimates),
+                estimates=tuple(estimates),
+                hung_fraction=(
+                    hung_counts[cell_index] / max(totals[cell_index], 1)
+                ),
+                faults=cell_faults[cell_index],
+            )
+        )
+    return FaultSensitivityCurve(
+        protocol_name=protocol.name,
+        gamma=gamma,
+        n_runs=n_runs,
+        seed=seed,
+        fault_seed=fault_seed,
+        points=tuple(points),
+    )

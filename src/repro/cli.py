@@ -8,6 +8,7 @@ Commands
 ``balance``        per-t utility profile + utility-balance verdict
 ``reconstruction`` measure a protocol's reconstruction rounds
 ``curve``          per-t utility curves for two protocols + crossover
+``fault-sensitivity`` utility-erosion curve under engine fault injection
 
 All measurements are Monte-Carlo; ``--runs`` and ``--seed`` control the
 budget and reproducibility, and ``--jobs`` (or the ``REPRO_JOBS``
@@ -32,15 +33,19 @@ from .adversaries import (
     strategy_space_for_protocol,
 )
 from .analysis import (
+    DEFAULT_LOSS_RATES,
     assess_protocol,
     balance_profile,
     build_order,
     crossover,
+    fault_sensitivity,
     format_table,
     measure_reconstruction_rounds,
+    save_json,
     utility_curve,
 )
 from .analysis import run_stats_to_dict
+from .core.events import FairnessEvent
 from .core import (
     PayoffVector,
     balanced_sum_bound,
@@ -100,6 +105,21 @@ def _parse_jobs(text: str) -> int:
     if jobs < 0:
         raise argparse.ArgumentTypeError("jobs must be non-negative")
     return jobs
+
+
+def _parse_rates(text: str) -> List[float]:
+    try:
+        rates = [float(x) for x in text.split(",") if x.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid rate list: {text!r}")
+    if not rates:
+        raise argparse.ArgumentTypeError("need at least one rate")
+    for rate in rates:
+        if not 0.0 <= rate <= 1.0:
+            raise argparse.ArgumentTypeError(
+                f"rates must lie in [0, 1], got {rate}"
+            )
+    return rates
 
 
 def _parse_gamma(text: str) -> PayoffVector:
@@ -178,6 +198,37 @@ def build_parser() -> argparse.ArgumentParser:
     curve = sub.add_parser("curve", help="per-t curves of two protocols")
     curve.add_argument("protocol_a")
     curve.add_argument("protocol_b")
+
+    faults = sub.add_parser(
+        "fault-sensitivity",
+        help="fairness erosion under unreliable channels / crash faults",
+    )
+    faults.add_argument("protocol")
+    faults.add_argument(
+        "--loss",
+        type=_parse_rates,
+        default=list(DEFAULT_LOSS_RATES),
+        help="comma-separated channel-loss rates to sweep "
+        "(default 0,0.05,0.1,0.2)",
+    )
+    faults.add_argument(
+        "--crash",
+        type=_parse_rates,
+        default=[0.0],
+        help="comma-separated crash probabilities to sweep (default 0)",
+    )
+    faults.add_argument(
+        "--fault-seed",
+        default="cli-faults",
+        help="seed of the deterministic fault pattern",
+    )
+    faults.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the full erosion-curve artifact (fault config "
+        "included) as JSON",
+    )
 
     return parser
 
@@ -308,6 +359,48 @@ def cmd_curve(args, registry) -> str:
     )
 
 
+def cmd_fault_sensitivity(args, registry) -> str:
+    protocol = _get(registry, args.protocol)
+    space = strategy_space_for_protocol(protocol)
+    curve = fault_sensitivity(
+        protocol,
+        space,
+        args.gamma,
+        loss_rates=args.loss,
+        crash_rates=args.crash,
+        n_runs=args.runs,
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        runner=args.runner,
+    )
+    rows = []
+    for point in curve.points:
+        erosion = curve.erosion(point)
+        rows.append(
+            [
+                f"{point.loss:.3f}",
+                f"{point.crash_rate:.3f}",
+                f"{point.utility:.4f}",
+                f"{point.event_frequency(FairnessEvent.E10):.3f}",
+                f"{point.event_frequency(FairnessEvent.E11):.3f}",
+                f"{point.hung_fraction:.3f}",
+                "—" if erosion is None else f"{erosion:+.4f}",
+            ]
+        )
+    lines = [
+        f"protocol: {protocol.name}",
+        f"strategies swept per grid point: {len(space)}",
+        format_table(
+            ["loss", "crash", "sup utility", "E10", "E11", "hung", "erosion"],
+            rows,
+        ),
+    ]
+    if args.out:
+        path = save_json(curve, args.out)
+        lines.append(f"artifact written: {path}")
+    return "\n".join(lines)
+
+
 COMMANDS = {
     "zoo": cmd_zoo,
     "compare": cmd_compare,
@@ -315,6 +408,7 @@ COMMANDS = {
     "balance": cmd_balance,
     "reconstruction": cmd_reconstruction,
     "curve": cmd_curve,
+    "fault-sensitivity": cmd_fault_sensitivity,
 }
 
 

@@ -36,19 +36,33 @@ from ..functions.library import FunctionSpec
 
 
 class FairnessEvent(Enum):
-    """Index string ij: i = adversary learned, j = honest parties learned."""
+    """Index string ij: i = adversary learned, j = honest parties learned.
+
+    ``HONEST_HUNG`` is outside the paper's 2×2 grid: it marks a run in
+    which an honest party produced *no* output at all — not even ⊥ — by
+    the round bound.  That can only happen under engine-level fault
+    injection (under a lossless network it is a loud
+    ``ProtocolViolation``), and it is carried through the event counts so
+    a faulty network degrades measurements gracefully instead of killing
+    the batch.  Payoff-wise it is valued like E00: nobody learned.
+    """
 
     E00 = "00"
     E01 = "01"
     E10 = "10"
     E11 = "11"
+    HONEST_HUNG = "hung"
 
     @property
     def adversary_learned(self) -> bool:
+        if self is FairnessEvent.HONEST_HUNG:
+            return False
         return self.value[0] == "1"
 
     @property
     def honest_learned(self) -> bool:
+        if self is FairnessEvent.HONEST_HUNG:
+            return False
         return self.value[1] == "1"
 
 
@@ -65,12 +79,22 @@ def adversary_learned_output(
 
 
 def honest_learned_output(result: ExecutionResult, func: FunctionSpec) -> bool:
-    """Did every honest party obtain its (correct or default-evaluated)
-    output?"""
-    if not result.honest:
+    """Did every surviving honest party obtain its (correct or
+    default-evaluated) output?
+
+    Crash-stopped parties are excluded (fail-stop convention: fairness is
+    assessed over the survivors), but a *hung* party — honest, alive, and
+    yet absent from ``outputs`` — makes this ``False`` rather than being
+    silently skipped.
+    """
+    surviving = result.surviving_honest
+    if not surviving:
         return False
     true_outputs = func.outputs_for(result.inputs)
-    for i, rec in result.honest_outputs.items():
+    for i in sorted(surviving):
+        rec = result.outputs.get(i)
+        if rec is None:
+            return False  # hung: no output record at all
         if rec.is_abort:
             return False
         if rec.kind == OUTPUT_DEFAULT:
@@ -82,7 +106,17 @@ def honest_learned_output(result: ExecutionResult, func: FunctionSpec) -> bool:
 
 def classify(result: ExecutionResult, func: FunctionSpec) -> FairnessEvent:
     """Map a finished execution to its fairness event."""
+    if result.hung:
+        return FairnessEvent.HONEST_HUNG
     if not result.corrupted:
+        # Paper convention: no corruption ⇒ E01.  But when engine faults
+        # actually materialised (drops, crashes), the honest parties can
+        # fail to learn with no adversary at all — report E00 then, so a
+        # fault sweep sees the erosion.  Without fault evidence the run is
+        # indistinguishable from a lossless one and the convention stands.
+        faulted = result.crashed or result.hung or result.fault_events
+        if faulted and not honest_learned_output(result, func):
+            return FairnessEvent.E00
         return FairnessEvent.E01
     if len(result.corrupted) == result.n:
         return FairnessEvent.E11

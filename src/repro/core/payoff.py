@@ -74,6 +74,9 @@ class PayoffVector:
             FairnessEvent.E01: self.gamma01,
             FairnessEvent.E10: self.gamma10,
             FairnessEvent.E11: self.gamma11,
+            # Outside the paper's 2×2 grid: a hung honest party means
+            # nobody learned, so it is valued like E00.
+            FairnessEvent.HONEST_HUNG: self.gamma00,
         }[event]
 
     def expected(self, distribution: Mapping[FairnessEvent, float]) -> float:

@@ -27,8 +27,20 @@ from .execution import (
     ProtocolViolation,
     run_execution,
 )
+from .faults import (
+    NO_ENGINE_FAULTS,
+    ChannelDecision,
+    ChannelFaultModel,
+    EngineFaults,
+    PartyFaultModel,
+)
 
 __all__ = [
+    "NO_ENGINE_FAULTS",
+    "ChannelDecision",
+    "ChannelFaultModel",
+    "EngineFaults",
+    "PartyFaultModel",
     "ABORT",
     "Inbox",
     "Message",

@@ -209,6 +209,7 @@ class SerialRunner(BatchRunner):
         log = BatchLog()
         values: List = []
         stopped_any = False
+        interrupted: Optional[BaseException] = None
         requested = sum(t.n_runs for t in tasks)
         try:
             for ti, task in enumerate(tasks):
@@ -225,8 +226,15 @@ class SerialRunner(BatchRunner):
                         stopped_any = True
                         break
                 values.append(value)
+        except KeyboardInterrupt as exc:
+            interrupted = exc
+            raise
         finally:
             self._record(len(tasks), requested, t0, stopped_any, log)
+            if interrupted is not None:
+                # Ctrl-C: the re-raised interrupt carries the partial
+                # accounting of everything that did complete.
+                interrupted.run_stats = self.last_stats
         return values
 
 
@@ -309,6 +317,7 @@ class ProcessPoolRunner(BatchRunner):
         values: List = [None] * len(tasks)
         log = BatchLog()
         stopped_any = False
+        interrupted: Optional[BaseException] = None
         self._pool_broken = False
         ctx = multiprocessing.get_context("fork")
         pool = ProcessPoolExecutor(
@@ -318,6 +327,7 @@ class ProcessPoolRunner(BatchRunner):
             initargs=(tasks,),
         )
         submitted: List[List[tuple]] = []
+        handled: set = set()
         try:
             submitted = [
                 [
@@ -333,22 +343,42 @@ class ProcessPoolRunner(BatchRunner):
                     if stopped:
                         future.cancel()
                         log.chunk(ti, start, stop, 0, "cancelled", "pool", 0.0)
+                        handled.add((ti, start, stop))
                         continue
                     part = self._chunk_result(
                         pool, tasks[ti], ti, start, stop, future, log
                     )
+                    handled.add((ti, start, stop))
                     value = part if value is None else merge_partials(value, part)
                     if early_stop is not None and early_stop.should_stop(value):
                         stopped = stopped_any = True
                 values[ti] = value
+        except KeyboardInterrupt as exc:
+            # Ctrl-C: fall through to the finally, which cancels every
+            # outstanding future and shuts the pool down (no leaked
+            # workers), then re-raise with the partial RunStats attached.
+            interrupted = exc
+            raise
         finally:
             # Satellite of the retry tentpole: a failing chunk must not
             # orphan sibling futures or leave last_stats unset.
-            for chunk_futures in submitted:
-                for _, future in chunk_futures:
+            for ti, chunk_futures in enumerate(submitted):
+                for (start, stop), future in chunk_futures:
                     future.cancel()
+                    if (
+                        interrupted is not None
+                        and (ti, start, stop) not in handled
+                    ):
+                        # Outstanding work the interrupt dropped on the
+                        # floor — account for it so the partial stats are
+                        # honest about missing coverage.
+                        log.chunk(
+                            ti, start, stop, 0, "cancelled", "pool", 0.0
+                        )
             pool.shutdown(wait=False, cancel_futures=True)
             self._record(len(tasks), requested, t0, stopped_any, log)
+            if interrupted is not None:
+                interrupted.run_stats = self.last_stats
         return values
 
     # -- per-chunk recovery --------------------------------------------------

@@ -23,10 +23,11 @@ import math
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
-from ..core.events import classify
+from ..core.events import FairnessEvent, classify
 from ..core.utility import EventCounts
 from ..crypto.prf import Rng
-from ..engine.execution import run_execution
+from ..engine.execution import ProtocolViolation, run_execution
+from ..engine.faults import EngineFaults
 
 
 def default_chunk_size(n_runs: int) -> int:
@@ -73,6 +74,7 @@ class ExecutionTask:
     n_runs: int
     seed: object = 0
     input_sampler: Optional[Callable[[Rng], tuple]] = None
+    faults: Optional[EngineFaults] = None
 
     @property
     def label(self) -> str:
@@ -81,12 +83,42 @@ class ExecutionTask:
     def run_chunk(self, start: int, stop: int) -> EventCounts:
         sampler = self.input_sampler or self.protocol.func.sample_inputs
         master = Rng(self.seed)
+        faults_active = self.faults is not None and self.faults.active
         counts = EventCounts()
         for k in range(start, stop):
             rng = master.fork(f"run-{k}")
             inputs = sampler(rng.fork("inputs"))
             adversary = self.factory(rng.fork("adversary"))
-            result = run_execution(self.protocol, inputs, adversary, rng.fork("exec"))
+            run_faults = None
+            if faults_active:
+                # Re-salt the fault seeds with material from the run's own
+                # stream: each run sees an independent fault pattern, yet
+                # run k replays bit-identically in any chunk partition.
+                # The fork only happens when faults are active, so the
+                # zero-fault RNG sequence is untouched.
+                salt = rng.fork("faults").randbytes(16)
+                run_faults = self.faults.seeded(salt)
+            try:
+                result = run_execution(
+                    self.protocol,
+                    inputs,
+                    adversary,
+                    rng.fork("exec"),
+                    faults=run_faults,
+                )
+            except ProtocolViolation as exc:
+                # Belt and braces: the engine only raises this with no
+                # faults active, but a batch must degrade to a classified
+                # event, not die.  The attached result carries the hung set.
+                if exc.result is None:
+                    raise
+                counts.record(FairnessEvent.HONEST_HUNG, exc.result.corrupted)
+                continue
+            if result.hung:
+                # Even a protocol-specific classifier cannot say anything
+                # about a run whose honest parties never produced output.
+                counts.record(FairnessEvent.HONEST_HUNG, result.corrupted)
+                continue
             event = self.protocol.classify_result(result)
             if event is None:
                 event = classify(result, self.protocol.func)

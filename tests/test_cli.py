@@ -1,5 +1,7 @@
 """CLI tests (``python -m repro``)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -100,3 +102,37 @@ class TestRuntimeFlags:
         assert '"backend"' in out
         assert '"serial_replays"' in out
         assert '"failed_attempts"' in out
+
+
+class TestFaultSensitivityCommand:
+    def test_erosion_table_and_artifact(self, capsys, tmp_path):
+        out_path = tmp_path / "curve.json"
+        out = run_cli(
+            capsys,
+            "--runs", "20", "--seed", "clitest",
+            "fault-sensitivity", "dummy",
+            "--loss", "0,0.5", "--fault-seed", "t",
+            "--out", str(out_path),
+        )
+        assert "sup utility" in out
+        assert "erosion" in out
+        assert "artifact written" in out
+        payload = json.loads(out_path.read_text())
+        assert [p["loss"] for p in payload["points"]] == [0.0, 0.5]
+        assert payload["points"][1]["faults"]["channel"]["loss"] == 0.5
+        assert payload["points"][0]["erosion"] == 0.0
+
+    def test_crash_axis_parses(self, capsys):
+        out = run_cli(
+            capsys,
+            "--runs", "20", "fault-sensitivity", "dummy",
+            "--loss", "0", "--crash", "0,0.5",
+        )
+        assert out.count("\n") >= 4  # two grid rows + header
+
+    def test_rate_validation(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fault-sensitivity", "dummy", "--loss", "1.5"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fault-sensitivity", "dummy", "--loss", "abc"])
