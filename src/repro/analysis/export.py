@@ -113,6 +113,10 @@ def chunk_stats_to_dict(chunk: ChunkStats) -> dict:
         "outcome": chunk.outcome,
         "backend": chunk.backend,
         "wall_clock_s": chunk.wall_clock_s,
+        "setup_s": chunk.setup_s,
+        "execute_s": chunk.execute_s,
+        "classify_s": chunk.classify_s,
+        "cache": chunk.cache,
     }
 
 
@@ -133,6 +137,14 @@ def run_stats_to_dict(stats: RunStats) -> dict:
         "serial_replays": stats.serial_replays,
         "cancelled_chunks": stats.cancelled_chunks,
         "degraded": stats.degraded,
+        "setup_s": stats.setup_s,
+        "execute_s": stats.execute_s,
+        "classify_s": stats.classify_s,
+        "memo_hits": stats.memo_hits,
+        "memo_misses": stats.memo_misses,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "cache_stores": stats.cache_stores,
         "chunks": [chunk_stats_to_dict(c) for c in stats.chunks],
     }
 

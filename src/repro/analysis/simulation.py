@@ -29,7 +29,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..core.events import FairnessEvent, classify
 from ..crypto import authenticated_sharing
-from ..crypto.field import DEFAULT_PRIME, Field
+from ..crypto.field import default_field
 from ..crypto.mac import gen_mac_key, tag, verify
 from ..crypto.prf import Rng
 from ..engine.execution import run_execution
@@ -45,7 +45,7 @@ from ..functionalities.priv_sfe import (
 from ..functions.library import FunctionSpec
 from ..protocols.opt_2sfe import Opt2SfeProtocol
 
-_FIELD = Field(DEFAULT_PRIME)
+_FIELD = default_field()
 
 
 class _Coordinator:

@@ -40,6 +40,12 @@ class Circuit:
         self.gates: Tuple[Gate, ...] = tuple(gates)
         self.outputs: Tuple[int, ...] = tuple(outputs)
         self.n_parties = n_parties
+        # Lazy structure caches: every GMW machine asks for the layer plan
+        # and its input gates on construction, i.e. n_parties times per
+        # Monte-Carlo run — the answers are pure functions of the
+        # (immutable) gate list, so compute them once per circuit.
+        self._layer_cache: Optional[List[List[Gate]]] = None
+        self._input_gate_cache: Dict[Optional[int], List[Gate]] = {}
         self._validate()
 
     def _validate(self) -> None:
@@ -75,12 +81,18 @@ class Circuit:
 
     # -- structure queries ---------------------------------------------------
     def input_gates(self, owner: Optional[int] = None) -> List[Gate]:
-        return [
-            g
-            for g in self.gates
-            if g.kind == GateKind.INPUT
-            and (owner is None or g.owner == owner)
-        ]
+        cached = self._input_gate_cache.get(owner)
+        if cached is None:
+            cached = [
+                g
+                for g in self.gates
+                if g.kind == GateKind.INPUT
+                and (owner is None or g.owner == owner)
+            ]
+            self._input_gate_cache[owner] = cached
+        # Callers treat the list as read-only; hand back a copy so a
+        # stray mutation cannot poison the cache.
+        return list(cached)
 
     def input_bits_per_party(self) -> Dict[int, int]:
         counts: Dict[int, int] = {i: 0 for i in range(self.n_parties)}
@@ -93,19 +105,26 @@ class Circuit:
 
     def and_layers(self) -> List[List[Gate]]:
         """AND gates grouped by depth layer (gates in one layer are
-        pairwise independent and their OTs run in parallel)."""
-        depth: Dict[int, int] = {}
-        layers: Dict[int, List[Gate]] = {}
-        for gate in self.gates:
-            if gate.kind in (GateKind.INPUT, GateKind.CONST):
-                depth[gate.wire] = 0
-            elif gate.kind == GateKind.AND:
-                d = max(depth[a] for a in gate.args) + 1
-                depth[gate.wire] = d
-                layers.setdefault(d, []).append(gate)
-            else:
-                depth[gate.wire] = max(depth[a] for a in gate.args)
-        return [layers[d] for d in sorted(layers)]
+        pairwise independent and their OTs run in parallel).
+
+        Computed once per circuit and then served from a cache: the GMW
+        machines request the plan on every construction, i.e. in the
+        Monte-Carlo hot path.
+        """
+        if self._layer_cache is None:
+            depth: Dict[int, int] = {}
+            layers: Dict[int, List[Gate]] = {}
+            for gate in self.gates:
+                if gate.kind in (GateKind.INPUT, GateKind.CONST):
+                    depth[gate.wire] = 0
+                elif gate.kind == GateKind.AND:
+                    d = max(depth[a] for a in gate.args) + 1
+                    depth[gate.wire] = d
+                    layers.setdefault(d, []).append(gate)
+                else:
+                    depth[gate.wire] = max(depth[a] for a in gate.args)
+            self._layer_cache = [layers[d] for d in sorted(layers)]
+        return [list(layer) for layer in self._layer_cache]
 
     # -- plain evaluation ------------------------------------------------------
     def evaluate(self, inputs: Dict[int, Sequence[int]]) -> Tuple[int, ...]:

@@ -6,15 +6,40 @@ function is tabulated and compiled as a sum-of-minterms over the input bits.
 Exponential in total input width, so intended for the small functions the
 benches exercise (as the paper's constructions are generic, the circuit
 representation is never the bottleneck of the *fairness* analysis).
+
+Compilation is memoized per process, keyed by the *content* of the
+tabulated truth table (never by the function object): two callables that
+agree on every assignment compile to the same immutable
+:class:`~repro.circuits.circuit.Circuit` instance, so re-instantiating a
+protocol for the same ``FunctionSpec`` — which every CLI invocation and
+benchmark does — skips the exponential minterm build after the first
+time.  Sharing the instance is safe because circuits are immutable (the
+GMW machines keep all mutable state in their own wire-share maps).
 """
 
 from __future__ import annotations
 
 from itertools import product
-from typing import Callable, List, Sequence
+from typing import Callable, Dict, List, Sequence
 
+from ..crypto.prf import encode_seed
 from .builder import CircuitBuilder
 from .circuit import Circuit
+
+#: Content-keyed compilation memo plus its hit/miss counters (read by the
+#: runtime's instrumentation via :func:`memo_counters`).
+_CIRCUIT_MEMO: Dict[bytes, Circuit] = {}
+_MEMO_COUNTS = {"hits": 0, "misses": 0}
+
+
+def memo_counters() -> dict:
+    """Hit/miss counts of the compilation memo."""
+    return dict(_MEMO_COUNTS)
+
+
+def clear_circuit_memo() -> None:
+    """Drop all memoized circuits (test isolation hook)."""
+    _CIRCUIT_MEMO.clear()
 
 
 def compile_truth_table(
@@ -38,12 +63,10 @@ def compile_truth_table(
             "unreasonable; hand-build the circuit instead"
         )
 
-    b = CircuitBuilder(n)
-    input_wires: List[List[int]] = [b.input_bits(i, w) for i, w in enumerate(widths)]
-    flat_wires = [w for ws in input_wires for w in ws]
-    not_wires = [b.not_(w) for w in flat_wires]
-
-    # Tabulate: for each assignment, the output value.
+    # Tabulate: for each assignment, the output value.  Tabulation is the
+    # cheap linear pass; the memo below short-circuits the expensive
+    # minterm/gate construction when an identical table was already
+    # compiled in this process.
     assignments = list(product((0, 1), repeat=total_bits))
     outputs_bits: List[List[tuple]] = [[] for _ in range(output_width)]
     for bits in assignments:
@@ -56,6 +79,26 @@ def compile_truth_table(
         for o in range(output_width):
             if (y >> o) & 1:
                 outputs_bits[o].append(bits)
+
+    memo_key = encode_seed(
+        (
+            "truth-table-circuit",
+            n,
+            tuple(widths),
+            output_width,
+            tuple(tuple(minterms) for minterms in outputs_bits),
+        )
+    )
+    cached = _CIRCUIT_MEMO.get(memo_key)
+    if cached is not None:
+        _MEMO_COUNTS["hits"] += 1
+        return cached
+    _MEMO_COUNTS["misses"] += 1
+
+    b = CircuitBuilder(n)
+    input_wires: List[List[int]] = [b.input_bits(i, w) for i, w in enumerate(widths)]
+    flat_wires = [w for ws in input_wires for w in ws]
+    not_wires = [b.not_(w) for w in flat_wires]
 
     def minterm(bits: tuple) -> int:
         acc = None
@@ -75,7 +118,9 @@ def compile_truth_table(
         for bits in minterms[1:]:
             acc = b.xor(acc, minterm(bits))
         out_wires.append(acc)
-    return b.build(out_wires)
+    circuit = b.build(out_wires)
+    _CIRCUIT_MEMO[memo_key] = circuit
+    return circuit
 
 
 def bits_of(value: int, width: int) -> List[int]:

@@ -9,6 +9,7 @@ Commands
 ``reconstruction`` measure a protocol's reconstruction rounds
 ``curve``          per-t utility curves for two protocols + crossover
 ``fault-sensitivity`` utility-erosion curve under engine fault injection
+``profile``        cProfile a small batch and print the top hotspots
 
 All measurements are Monte-Carlo; ``--runs`` and ``--seed`` control the
 budget and reproducibility, and ``--jobs`` (or the ``REPRO_JOBS``
@@ -17,7 +18,11 @@ changing any result.  ``--max-retries`` and ``--chunk-timeout`` tune the
 runtime's failure semantics (failed or stalled chunks are re-executed,
 bit-identically, before degrading to in-process replay), and ``--stats``
 appends a JSON dump of every batch's ``RunStats`` — including retry and
-degradation counters — after the command output.
+degradation counters, per-phase timings, and cache traffic — after the
+command output.  ``--cache DIR`` (or ``REPRO_CACHE_DIR``) enables the
+persistent chunk-result cache: re-running a sweep with the same
+protocol, strategies, seed, and fault config replays stored chunk
+partials bit-identically instead of recomputing them.
 """
 
 from __future__ import annotations
@@ -53,7 +58,7 @@ from .core import (
     monte_carlo_tolerance,
 )
 from .functions import make_concat, make_contract_exchange, make_swap
-from .runtime import RetryPolicy, resolve_runner
+from .runtime import RetryPolicy, resolve_cache, resolve_runner
 
 
 def _protocol_registry(n: int) -> Dict[str, object]:
@@ -163,6 +168,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_CHUNK_TIMEOUT or no deadline)",
     )
     parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="persistent chunk-result cache directory (default: "
+        "$REPRO_CACHE_DIR or no cache); identical (protocol, strategy, "
+        "seed, span, faults) chunks are replayed from disk",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="dump each batch's RunStats (throughput + retry/degradation "
@@ -228,6 +241,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the full erosion-curve artifact (fault config "
         "included) as JSON",
+    )
+
+    prof = sub.add_parser(
+        "profile",
+        help="cProfile a small serial batch and print the top hotspots",
+    )
+    prof.add_argument(
+        "protocol",
+        nargs="?",
+        default="opt-2sfe",
+        help="protocol to profile (default opt-2sfe)",
+    )
+    prof.add_argument(
+        "--top",
+        type=int,
+        default=12,
+        help="number of hotspot rows to print (default 12)",
     )
 
     return parser
@@ -401,6 +431,74 @@ def cmd_fault_sensitivity(args, registry) -> str:
     return "\n".join(lines)
 
 
+def cmd_profile(args, registry) -> str:
+    """cProfile a small serial batch of the protocol's strategy sweep.
+
+    Always runs in-process (a pool would hide worker time from the
+    profiler) and without any chunk cache (a cache hit would profile
+    ``pickle.loads`` instead of the protocol).
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from .runtime import ExecutionTask, SerialRunner
+
+    protocol = _get(registry, args.protocol)
+    space = strategy_space_for_protocol(protocol)
+    tasks = [
+        ExecutionTask(
+            protocol, factory, args.runs, seed=(args.seed, factory.name)
+        )
+        for factory in space
+    ]
+    runner = SerialRunner(cache=None)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        runner.run(tasks)
+    finally:
+        profiler.disable()
+
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    stats.sort_stats("cumulative")
+    rows = []
+    for func, (cc, nc, tottime, cumtime, _callers) in sorted(
+        stats.stats.items(), key=lambda kv: kv[1][3], reverse=True
+    ):
+        filename, lineno, name = func
+        if filename.startswith("<") or "cProfile" in filename:
+            continue
+        short = "/".join(filename.split("/")[-2:])
+        rows.append(
+            [
+                f"{short}:{lineno}({name})",
+                nc,
+                f"{tottime:.4f}",
+                f"{cumtime:.4f}",
+            ]
+        )
+        if len(rows) >= max(1, args.top):
+            break
+    run_stats = runner.last_stats
+    lines = [
+        f"protocol: {protocol.name}  "
+        f"({len(space)} strategies x {args.runs} runs, serial)",
+        format_table(["function", "calls", "tottime", "cumtime"], rows),
+        (
+            f"phases: setup {run_stats.setup_s:.3f}s, "
+            f"execute {run_stats.execute_s:.3f}s, "
+            f"classify {run_stats.classify_s:.3f}s "
+            f"(total wall {run_stats.wall_clock_s:.3f}s)"
+        ),
+        (
+            f"setup memos: {run_stats.memo_hits} hits, "
+            f"{run_stats.memo_misses} misses"
+        ),
+    ]
+    return "\n".join(lines)
+
+
 COMMANDS = {
     "zoo": cmd_zoo,
     "compare": cmd_compare,
@@ -409,6 +507,7 @@ COMMANDS = {
     "reconstruction": cmd_reconstruction,
     "curve": cmd_curve,
     "fault-sensitivity": cmd_fault_sensitivity,
+    "profile": cmd_profile,
 }
 
 
@@ -419,7 +518,7 @@ def _build_runner(args):
         retry = replace(retry, max_retries=max(0, args.max_retries))
     if args.chunk_timeout is not None:
         retry = replace(retry, chunk_timeout_s=args.chunk_timeout)
-    return resolve_runner(args.jobs, retry=retry)
+    return resolve_runner(args.jobs, retry=retry, cache=resolve_cache(args.cache))
 
 
 def main(argv: List[str] = None) -> int:

@@ -22,7 +22,7 @@ from .immutable import Immutable
 from dataclasses import dataclass
 from typing import Tuple
 
-from .field import Field, DEFAULT_PRIME
+from .field import Field, default_field
 from .mac import MacKey, TAG_LENGTH, gen_mac_key, tag, verify
 from .prf import Rng
 
@@ -72,7 +72,7 @@ def deal(
     secret: int, rng: Rng, field: Field = None
 ) -> Tuple[AuthenticatedShare, AuthenticatedShare]:
     """Create an authenticated 2-of-2 sharing ``<s>`` of ``secret``."""
-    field = field or Field(DEFAULT_PRIME)
+    field = field or default_field()
     if field.p.bit_length() <= SECRET_BITS + 2 * _TAG_BITS:
         raise ValueError("field too small for authenticated payload")
     k1 = gen_mac_key(rng.fork("mac-key-1"))
@@ -95,7 +95,7 @@ def reconstruct(
     ``received`` is the other party's wire message ``(summand, tag)``.
     Raises :class:`ShareVerificationError` on any MAC failure.
     """
-    field = field or Field(DEFAULT_PRIME)
+    field = field or default_field()
     if (
         not isinstance(received, tuple)
         or len(received) != 2

@@ -11,11 +11,17 @@ sharing with small party counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, List, Sequence
 
 #: Default prime: 2**521 - 1 (a Mersenne prime), large enough to embed
 #: (value, tag, tag) triples of the sizes used throughout the library.
 DEFAULT_PRIME = 2**521 - 1
+
+#: Hit/miss counters of the Lagrange-basis memo (the validated-modulus and
+#: field-interning caches report through ``lru_cache.cache_info``); the
+#: runtime's instrumentation reads all of them via :func:`memo_counters`.
+_LAGRANGE_COUNTS = {"hits": 0, "misses": 0}
 
 
 def is_probable_prime(n: int, rounds: int = 16) -> bool:
@@ -45,19 +51,40 @@ def is_probable_prime(n: int, rounds: int = 16) -> bool:
     return True
 
 
+@lru_cache(maxsize=None)
+def _validated_modulus(p: int) -> int:
+    """Check a candidate modulus once per process.
+
+    Every :class:`Field` construction funnels through this cache, so the
+    Miller-Rabin cost of validating the fixed 521-bit ``DEFAULT_PRIME``
+    (or any other modulus) is paid exactly once per process instead of on
+    every construction in the Monte-Carlo hot path.
+    """
+    if p < 2:
+        raise ValueError(f"field modulus must be >= 2, got {p}")
+    if not is_probable_prime(p):
+        raise ValueError(f"field modulus must be prime, got {p}")
+    return p
+
+
 class Field:
     """A prime field GF(p) with the handful of operations the library needs.
 
     Instances are lightweight and hashable; two fields compare equal iff
-    their moduli are equal.
+    their moduli are equal.  The modulus is validated (probable-prime) on
+    construction, with the validation memoized per process; hot call
+    sites should prefer the interned instances from :func:`get_field` /
+    :func:`default_field`, whose Lagrange-basis memo then persists across
+    calls.
     """
 
-    __slots__ = ("p",)
+    __slots__ = ("p", "_lagrange_memo")
 
     def __init__(self, p: int = DEFAULT_PRIME):
-        if p < 2:
-            raise ValueError(f"field modulus must be >= 2, got {p}")
-        self.p = p
+        self.p = _validated_modulus(p)
+        # Reconstruction bases keyed by the tuple of interpolation
+        # x-coordinates; see lagrange_interpolate_at_zero.
+        self._lagrange_memo = {}
 
     # -- structural -------------------------------------------------------
     def __eq__(self, other: object) -> bool:
@@ -122,21 +149,68 @@ class Field:
     def lagrange_interpolate_at_zero(self, points: Sequence[tuple]) -> int:
         """Interpolate the polynomial through ``points`` and return f(0).
 
-        ``points`` is a sequence of distinct (x, y) pairs.
+        ``points`` is a sequence of distinct (x, y) pairs.  The basis
+        coefficients λ_i = Π(-x_j)/Π(x_i-x_j) depend only on the tuple of
+        x-coordinates, which in Shamir/VSS reconstruction is a small
+        recurring subset of party indices — so the bases (and their
+        expensive ~p-sized modular inversions) are memoized per field
+        instance and f(0) reduces to the inner product Σ y_i·λ_i.
         """
-        xs = [x for x, _ in points]
+        xs = tuple(x for x, _ in points)
         if len(set(xs)) != len(xs):
             raise ValueError("interpolation points must have distinct x")
+        basis = self._lagrange_memo.get(xs)
+        if basis is None:
+            _LAGRANGE_COUNTS["misses"] += 1
+            coeffs = []
+            for i, xi in enumerate(xs):
+                num, den = 1, 1
+                for j, xj in enumerate(xs):
+                    if i == j:
+                        continue
+                    num = (num * (-xj)) % self.p
+                    den = (den * (xi - xj)) % self.p
+                coeffs.append((num * self.inv(den)) % self.p)
+            basis = tuple(coeffs)
+            self._lagrange_memo[xs] = basis
+        else:
+            _LAGRANGE_COUNTS["hits"] += 1
         secret = 0
-        for i, (xi, yi) in enumerate(points):
-            num, den = 1, 1
-            for j, (xj, _) in enumerate(points):
-                if i == j:
-                    continue
-                num = (num * (-xj)) % self.p
-                den = (den * (xi - xj)) % self.p
-            secret = (secret + yi * num * self.inv(den)) % self.p
+        for (_, yi), coeff in zip(points, basis):
+            secret = (secret + yi * coeff) % self.p
         return secret
+
+
+@lru_cache(maxsize=None)
+def get_field(p: int = DEFAULT_PRIME) -> Field:
+    """Interned :class:`Field` for ``p`` (one instance per process).
+
+    Interning keeps the per-instance Lagrange-basis memo warm across call
+    sites that used to construct a throwaway ``Field(DEFAULT_PRIME)`` per
+    invocation (``vss``, ``authenticated_sharing``).
+    """
+    return Field(p)
+
+
+def default_field() -> Field:
+    """The interned field over :data:`DEFAULT_PRIME`."""
+    return get_field(DEFAULT_PRIME)
+
+
+def memo_counters() -> dict:
+    """Aggregate hit/miss counts of this module's setup memos.
+
+    Read by ``repro.runtime.cache`` when assembling batch statistics; the
+    crypto layer itself never imports the runtime.
+    """
+    validated = _validated_modulus.cache_info()
+    interned = get_field.cache_info()
+    return {
+        "hits": validated.hits + interned.hits + _LAGRANGE_COUNTS["hits"],
+        "misses": (
+            validated.misses + interned.misses + _LAGRANGE_COUNTS["misses"]
+        ),
+    }
 
 
 @dataclass(frozen=True)

