@@ -99,6 +99,48 @@ def threshold_gmw_balance_sum(gamma: PayoffVector, n: int) -> float:
     return sum(u_threshold_gmw(gamma, n, t) for t in range(1, n))
 
 
+def threshold_gmw_overshoot(gamma: PayoffVector, n: int) -> float:
+    """The exact even-n excess of the Lemma-17 sum over the balanced bound.
+
+    The paper's display writes the looser "+(γ10 − γ11)", but its own
+    per-t counting — (n/2)·γ10 + (n/2 − 1)·γ11 against the optimum
+    (n−1)(γ10+γ11)/2 — gives exactly (γ10 − γ11)/2 for even n and 0 for
+    odd n.  This corrected constant is what the measurements reproduce
+    (EXPERIMENTS.md E7, "Known deviations" item 4).
+    """
+    gamma.require_fair_plus()
+    if n < 2:
+        raise ValueError("need at least two parties")
+    if n % 2:
+        return 0.0
+    return (gamma.gamma10 - gamma.gamma11) / 2.0
+
+
+def opt_nsfe_corruption_cost(gamma: PayoffVector, n: int, t: int) -> float:
+    """Theorem 6 / Lemma 22: the derived cost c(t) = φ(t) − s(t) for
+    ΠOptnSFE, where φ(t) is the Lemma-11 per-t profile and s(t) = γ11 is
+    the best t-adversary's payoff against the fully fair dummy."""
+    return u_opt_nsfe(gamma, n, t) - gamma.gamma11
+
+
+def gk_round_count(p: int, size: int, variant: str = "domain") -> int:
+    """Theorems 23/24 round counts with our truncation margin of 20.
+
+    The domain variant reveals for 20·p·|Y| rounds, the range variant for
+    20·p²·|Z| rounds — the shapes O(p·|Y|) / O(p²·|Z|) of the paper, with
+    the e⁻²⁰ truncation constant made explicit (EXPERIMENTS.md E10).
+    """
+    if p < 2:
+        raise ValueError("p must be at least 2")
+    if size < 1:
+        raise ValueError("codomain size must be positive")
+    if variant == "domain":
+        return 20 * p * size
+    if variant == "range":
+        return 20 * p * p * size
+    raise ValueError(f"variant must be 'domain' or 'range', got {variant!r}")
+
+
 def gk_known_output_win_probability(alpha: float, q: float) -> float:
     """Pr[the first y-occurrence is exactly i*] for geometric(α) i* and
     per-round fake-hit probability q — the Theorem-23 stopping bound."""

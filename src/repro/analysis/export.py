@@ -19,6 +19,8 @@ from ..core.payoff import PayoffVector
 from ..core.utility import UtilityEstimate
 from ..engine.faults import EngineFaults
 from ..runtime import ChunkStats, RunStats
+from ..verify.claims import Claim, Measurement
+from ..verify.checker import ClaimCheck, VerificationReport
 from .comparison import FairnessOrder
 from .fault_sensitivity import FaultSensitivityCurve, FaultSensitivityPoint
 from .reconstruction import ReconstructionMeasurement
@@ -186,7 +188,104 @@ def fault_curve_to_dict(curve: FaultSensitivityCurve) -> dict:
     }
 
 
+def claim_to_dict(claim: Claim) -> dict:
+    return {
+        "claim_id": claim.claim_id,
+        "experiment": claim.experiment,
+        "paper_ref": claim.paper_ref,
+        "statement": claim.statement,
+        "kind": claim.kind.value,
+        "base_runs": claim.base_runs,
+        "tolerance_policy": {
+            "slack": claim.tolerance.slack,
+            "z": claim.tolerance.z,
+            "spread": claim.tolerance.spread,
+        },
+    }
+
+
+def measurement_to_dict(m: Measurement) -> dict:
+    return {
+        "value": m.value,
+        "n_runs": m.n_runs,
+        "successes": m.successes,
+        "spread": m.spread,
+        "ci_low": m.ci_low,
+        "ci_high": m.ci_high,
+        "detail": m.detail,
+    }
+
+
+def claim_check_to_dict(check: ClaimCheck) -> dict:
+    """One claim's verdict with its replay metadata.
+
+    Everything outside the ``timing`` key is a pure function of
+    ``(registry, master seed, budget)`` — byte-stable across backends,
+    warm caches, and fault replay.  Wall clocks and per-batch RunStats
+    live under ``timing`` so replay comparisons can strip them.
+    """
+    return {
+        "claim": claim_to_dict(check.claim),
+        "analytic": check.analytic_value,
+        "measurement": measurement_to_dict(check.measurement),
+        "verdict": check.verdict.value,
+        "tolerance": check.tolerance,
+        "ci_low": check.ci_low,
+        "ci_high": check.ci_high,
+        "margin": check.margin,
+        "seed": repr(check.seed),
+        "chunk_spans": [list(span) for span in check.chunk_spans],
+        "timing": {
+            "wall_clock_s": check.wall_clock_s,
+            "run_stats": [run_stats_to_dict(s) for s in check.run_stats],
+        },
+    }
+
+
+def report_to_dict(report: VerificationReport) -> dict:
+    return {
+        "budget": report.budget,
+        "scale": report.scale,
+        "master_seed": repr(report.master_seed),
+        "summary": report.counts(),
+        "exit_code": report.exit_code,
+        "checks": [claim_check_to_dict(c) for c in report.checks],
+        "timing": {
+            "wall_clock_s": report.wall_clock_s,
+            "backend": report.runner_backend,
+            "jobs": report.jobs,
+        },
+    }
+
+
+def deterministic_payload(payload):
+    """Strip every ``timing`` and ``chunk_spans`` subtree from an artefact.
+
+    What remains of a :func:`report_to_dict` export is the
+    backend-invariant portion: re-running ``repro verify`` with the
+    embedded seeds must reproduce it byte-for-byte on any backend (the
+    bit-identity the verify tests and the EXPERIMENTS.md tables rely
+    on).  ``chunk_spans`` are replay metadata but describe the *chunk
+    layout* the scheduler happened to pick — serial runners coalesce a
+    task into one span where pools split it — so they are deterministic
+    per backend, not across backends.
+    """
+    if isinstance(payload, dict):
+        return {
+            k: deterministic_payload(v)
+            for k, v in payload.items()
+            if k not in ("timing", "chunk_spans")
+        }
+    if isinstance(payload, list):
+        return [deterministic_payload(v) for v in payload]
+    return payload
+
+
 _EXPORTERS = {
+    VerificationReport: report_to_dict,
+    ClaimCheck: claim_check_to_dict,
+    Claim: claim_to_dict,
+    Measurement: measurement_to_dict,
     FaultSensitivityCurve: fault_curve_to_dict,
     FaultSensitivityPoint: fault_point_to_dict,
     EngineFaults: engine_faults_to_dict,

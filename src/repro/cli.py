@@ -10,6 +10,8 @@ Commands
 ``curve``          per-t utility curves for two protocols + crossover
 ``fault-sensitivity`` utility-erosion curve under engine fault injection
 ``profile``        cProfile a small batch and print the top hotspots
+``verify``         check the registered paper claims (E1–E18) and exit
+                   0 (all ok) / 1 (violated) / 2 (bad claim spec)
 
 All measurements are Monte-Carlo; ``--runs`` and ``--seed`` control the
 budget and reproducibility, and ``--jobs`` (or the ``REPRO_JOBS``
@@ -29,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 from dataclasses import replace
 from typing import Dict, List
 
@@ -258,6 +261,40 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=12,
         help="number of hotspot rows to print (default 12)",
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        help="evaluate the registered paper claims against their "
+        "Monte-Carlo measurements",
+    )
+    verify.add_argument(
+        "--claims",
+        default="all",
+        help="comma-separated claim ids (E10-stop) or experiment ids "
+        "(E2,E3); default: all",
+    )
+    verify.add_argument(
+        "--budget",
+        default="small",
+        help="run-count budget: small / medium / large, or an integer "
+        "target for a nominal 200-run claim (default small)",
+    )
+    verify.add_argument(
+        "--json",
+        default=None,
+        metavar="OUT",
+        dest="json_out",
+        help="write the full verification artifact (verdicts, CIs, seeds, "
+        "chunk spans) as JSON",
+    )
+    # Accepted after the subcommand too (``repro verify --jobs 2``);
+    # SUPPRESS keeps the subparser from clobbering a pre-subcommand value.
+    verify.add_argument(
+        "--jobs",
+        type=_parse_jobs,
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
     )
 
     return parser
@@ -499,6 +536,33 @@ def cmd_profile(args, registry) -> str:
     return "\n".join(lines)
 
 
+def cmd_verify(args, registry):
+    """Run the claims registry; exit 0/1/2 per the verification verdict.
+
+    Returns ``(text, exit_code)`` — the only command whose exit code
+    carries meaning beyond success, so ``main`` special-cases tuples.
+    """
+    from .verify import ClaimConfigError, verify_claims
+
+    try:
+        report = verify_claims(
+            args.claims,
+            budget=args.budget,
+            seed=args.seed,
+            runner=args.runner,
+        )
+    except ClaimConfigError as exc:
+        # Exit 2 = configuration error, matching argparse's own usage
+        # errors and distinct from exit 1 (a claim actually violated).
+        print(f"repro verify: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    lines = [str(report)]
+    if args.json_out:
+        path = save_json(report, args.json_out)
+        lines.append(f"artifact written: {path}")
+    return "\n".join(lines), report.exit_code
+
+
 COMMANDS = {
     "zoo": cmd_zoo,
     "compare": cmd_compare,
@@ -508,6 +572,7 @@ COMMANDS = {
     "curve": cmd_curve,
     "fault-sensitivity": cmd_fault_sensitivity,
     "profile": cmd_profile,
+    "verify": cmd_verify,
 }
 
 
@@ -525,8 +590,12 @@ def main(argv: List[str] = None) -> int:
     args = build_parser().parse_args(argv)
     args.runner = _build_runner(args)
     registry = _protocol_registry(args.parties)
-    print(COMMANDS[args.command](args, registry))
+    result = COMMANDS[args.command](args, registry)
+    # Commands whose exit code carries meaning (``verify``) return
+    # (text, code); the rest return plain text and exit 0.
+    text, code = result if isinstance(result, tuple) else (result, 0)
+    print(text)
     if args.stats:
         history = [run_stats_to_dict(s) for s in args.runner.stats_history]
         print(json.dumps(history, indent=2, sort_keys=True))
-    return 0
+    return code

@@ -135,6 +135,16 @@ class BatchRunner:
         #: Every batch's RunStats, oldest first (the CLI ``--stats`` dump).
         self.stats_history: List[RunStats] = []
 
+    def history_mark(self) -> int:
+        """Bookmark the stats history before a multi-batch measurement."""
+        return len(self.stats_history)
+
+    def stats_since(self, mark: int) -> List[RunStats]:
+        """Every batch recorded since :meth:`history_mark` returned
+        ``mark`` — the verdict plumbing used by ``verify.checker`` to
+        attribute chunk spans to the claim that spawned them."""
+        return self.stats_history[mark:]
+
     def run(self, tasks: Sequence, early_stop: Optional[EarlyStopRule] = None) -> List:
         """Run every task to completion; return one merged value per task.
 

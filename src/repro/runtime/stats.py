@@ -110,6 +110,22 @@ class RunStats:
         """Did any chunk fall off the pool onto the serial-replay rung?"""
         return self.serial_replays > 0
 
+    @property
+    def chunk_spans(self) -> Tuple[Tuple[int, int, int], ...]:
+        """The ``(task_index, start, stop)`` spans this batch executed.
+
+        Each span identifies a deterministic slice of a task's run
+        indices; together with the task seed they are all a replay needs
+        to reproduce the batch bit-identically (``ExecutionTask.run_chunk``
+        derives every per-run RNG from ``fork(f"run-{k}")``).  Cancelled
+        chunks are excluded — they contributed no events.
+        """
+        return tuple(
+            (c.task_index, c.start, c.stop)
+            for c in self.chunks
+            if c.outcome != "cancelled"
+        )
+
     def __str__(self) -> str:
         text = (
             f"{self.backend}(jobs={self.jobs}): {self.executions}/"

@@ -1,0 +1,66 @@
+"""Machine-checkable verification of the paper's quantitative claims.
+
+The subsystem has three layers:
+
+* :mod:`.claims` — the declarative registry: each E1–E18 claim as a
+  :class:`Claim` with paper reference, bound kind, closed-form analytic
+  side, Monte-Carlo measurement recipe, and explicit tolerance policy;
+* :mod:`.differential` — Wilson/Hoeffding confidence intervals and the
+  verdict arithmetic that cross-checks the two sides;
+* :mod:`.checker` — runs selections through the batch runtime and emits
+  replayable :class:`VerificationReport` artifacts (``repro verify``).
+"""
+
+from .claims import (
+    BUDGET_SCALES,
+    MIN_RUNS,
+    BoundKind,
+    Claim,
+    ClaimConfigError,
+    ClaimContext,
+    ClaimRegistry,
+    Measurement,
+    TolerancePolicy,
+    constant_inputs,
+    default_registry,
+    resolve_budget,
+)
+from .differential import (
+    DifferentialMismatch,
+    assert_agreement,
+    compare,
+    confidence_interval,
+    hoeffding_halfwidth,
+)
+from .checker import (
+    ClaimCheck,
+    VerificationReport,
+    Verdict,
+    check_claim,
+    verify_claims,
+)
+
+__all__ = [
+    "BUDGET_SCALES",
+    "MIN_RUNS",
+    "BoundKind",
+    "Claim",
+    "ClaimCheck",
+    "ClaimConfigError",
+    "ClaimContext",
+    "ClaimRegistry",
+    "DifferentialMismatch",
+    "Measurement",
+    "TolerancePolicy",
+    "VerificationReport",
+    "Verdict",
+    "assert_agreement",
+    "check_claim",
+    "compare",
+    "confidence_interval",
+    "constant_inputs",
+    "default_registry",
+    "hoeffding_halfwidth",
+    "resolve_budget",
+    "verify_claims",
+]

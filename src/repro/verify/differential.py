@@ -1,0 +1,157 @@
+"""The differential layer: confidence intervals and verdict arithmetic.
+
+Everything statistical about verification lives here: the Wilson and
+Hoeffding interval constructions around a :class:`~.claims.Measurement`,
+and the ``compare`` routine that turns (bound kind, analytic value,
+measurement, tolerance) into a verdict string plus a signed margin.
+
+The checker calls :func:`compare` per claim; :func:`assert_agreement`
+offers the loud-failure form for equality claims — it raises
+:class:`DifferentialMismatch` whenever Monte-Carlo and closed form
+disagree beyond the combined CI width, which is how the test suite and CI
+surface an analytic/empirical divergence as a hard error instead of a
+silently-recorded verdict.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from ..core.utility import wilson_interval
+from .claims import BoundKind, Measurement, TolerancePolicy
+
+#: Verdict strings shared by the checker and the CLI.
+VERDICT_OK = "ok"
+VERDICT_WITHIN_TOLERANCE = "within-tolerance"
+VERDICT_VIOLATED = "violated"
+
+
+class DifferentialMismatch(AssertionError):
+    """Monte-Carlo and analytic sides disagree beyond CI width."""
+
+    def __init__(self, claim_id: str, analytic: float, measurement: Measurement,
+                 ci: Tuple[float, float]):
+        self.claim_id = claim_id
+        self.analytic = analytic
+        self.measurement = measurement
+        self.ci = ci
+        super().__init__(
+            f"claim {claim_id}: analytic {analytic:.6g} outside the "
+            f"measured interval [{ci[0]:.6g}, {ci[1]:.6g}] "
+            f"(measured {measurement.value:.6g}, n={measurement.n_runs})"
+        )
+
+
+def hoeffding_halfwidth(
+    n_runs: int, spread: float = 1.0, delta: float = 0.01
+) -> float:
+    """Hoeffding's two-sided half-width: with probability ≥ 1−δ the mean
+    of ``n_runs`` samples with range ``spread`` lies this close to its
+    expectation.  Distribution-free — the envelope partner to Wilson."""
+    if n_runs <= 0:
+        return 0.0
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    return spread * math.sqrt(math.log(2.0 / delta) / (2.0 * n_runs))
+
+
+def confidence_interval(
+    m: Measurement, delta: float = 0.01
+) -> Tuple[float, float]:
+    """The widest (most conservative) interval supported by ``m``.
+
+    Combines whichever constructions the measurement carries — an exact
+    Wilson interval when the value is a binomial proportion, the
+    estimator's own per-event CI when present, and the distribution-free
+    Hoeffding band — and returns their envelope.  An exact measurement
+    (``n_runs == 0``) gets the degenerate point interval.
+    """
+    if m.n_runs <= 0:
+        return (m.value, m.value)
+    intervals = []
+    if m.successes is not None:
+        intervals.append(wilson_interval(m.successes, m.n_runs))
+    if m.ci_low is not None and m.ci_high is not None:
+        intervals.append((m.ci_low, m.ci_high))
+    half = hoeffding_halfwidth(m.n_runs, spread=m.spread, delta=delta)
+    intervals.append((m.value - half, m.value + half))
+    return (min(lo for lo, _ in intervals), max(hi for _, hi in intervals))
+
+
+def compare(
+    kind: BoundKind,
+    analytic: float,
+    measurement: Measurement,
+    tolerance: TolerancePolicy,
+    ci: Optional[Tuple[float, float]] = None,
+) -> Tuple[str, float]:
+    """Judge a measurement against its analytic side.
+
+    Returns ``(verdict, margin)`` where the margin is the signed distance
+    in the claim's "bad" direction: positive margins mean the measurement
+    moved past the bound (or away from the target), so ``margin ≤ 0`` is
+    a clean ``ok``, ``0 < margin ≤ tol`` is ``within-tolerance``, and
+    beyond that the claim is ``violated``.
+    """
+    if ci is None:
+        ci = confidence_interval(measurement)
+    tol = tolerance.tolerance(measurement.n_runs)
+    value = measurement.value
+
+    if kind is BoundKind.UPPER:
+        margin = value - analytic
+    elif kind is BoundKind.LOWER:
+        margin = analytic - value
+    elif kind is BoundKind.EQUALITY:
+        margin = abs(value - analytic)
+        # ok when the analytic value sits inside the measured interval
+        # (plus model slack); this degenerates to exact equality for
+        # deterministic measurements, whose interval is a point.
+        if ci[0] - tolerance.slack <= analytic <= ci[1] + tolerance.slack:
+            return VERDICT_OK, margin
+        return (
+            (VERDICT_WITHIN_TOLERANCE, margin)
+            if margin <= tol
+            else (VERDICT_VIOLATED, margin)
+        )
+    elif kind is BoundKind.STRICT_ORDER:
+        # The measurement is the gap itself; it must be strictly positive
+        # and (when the registry gives a predicted gap) close to it.
+        if value <= 0:
+            return VERDICT_VIOLATED, -value
+        margin = abs(value - analytic)
+        return (
+            (VERDICT_OK, margin)
+            if margin <= tol
+            else (VERDICT_WITHIN_TOLERANCE, margin)
+        )
+    else:  # pragma: no cover - exhaustive over BoundKind
+        raise ValueError(f"unhandled bound kind {kind!r}")
+
+    # Directional bounds (UPPER/LOWER) share the same ladder.
+    if margin <= 0:
+        return VERDICT_OK, margin
+    if margin <= tol:
+        return VERDICT_WITHIN_TOLERANCE, margin
+    return VERDICT_VIOLATED, margin
+
+
+def assert_agreement(
+    claim_id: str,
+    analytic: float,
+    measurement: Measurement,
+    slack: float = 0.0,
+    delta: float = 0.01,
+) -> Tuple[float, float]:
+    """Fail loudly when an equality claim's sides disagree beyond CI width.
+
+    Returns the interval on success so callers can record it.  Raises
+    :class:`DifferentialMismatch` — an ``AssertionError`` — otherwise,
+    which pytest and CI treat as a hard failure rather than a recorded
+    verdict.
+    """
+    ci = confidence_interval(measurement, delta=delta)
+    if not (ci[0] - slack <= analytic <= ci[1] + slack):
+        raise DifferentialMismatch(claim_id, analytic, measurement, ci)
+    return ci

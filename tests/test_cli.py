@@ -13,6 +13,16 @@ def run_cli(capsys, *argv):
     return capsys.readouterr().out
 
 
+def run_cli_expecting(capsys, expected_code, *argv):
+    """Run the CLI and assert a specific exit code (``verify`` semantics)."""
+    try:
+        code = main(list(argv))
+    except SystemExit as exc:
+        code = exc.code if isinstance(exc.code, int) else 1
+    assert code == expected_code
+    return capsys.readouterr()
+
+
 class TestParser:
     def test_gamma_parsing(self):
         parser = build_parser()
@@ -136,3 +146,143 @@ class TestFaultSensitivityCommand:
             parser.parse_args(["fault-sensitivity", "dummy", "--loss", "1.5"])
         with pytest.raises(SystemExit):
             parser.parse_args(["fault-sensitivity", "dummy", "--loss", "abc"])
+
+    def test_artifact_round_trips_through_json(self, capsys, tmp_path):
+        """The saved curve artifact re-loads with its full fault config."""
+        out_path = tmp_path / "curve.json"
+        run_cli(
+            capsys,
+            "--runs", "20", "--seed", "roundtrip",
+            "fault-sensitivity", "dummy",
+            "--loss", "0,0.25", "--crash", "0.1", "--fault-seed", "rt",
+            "--out", str(out_path),
+        )
+        payload = json.loads(out_path.read_text())
+        assert payload["seed"] == repr("roundtrip")
+        assert payload["fault_seed"] == repr("rt")
+        assert payload["n_runs"] == 20
+        assert len(payload["points"]) == 2
+        for point in payload["points"]:
+            assert set(point) >= {
+                "loss", "crash_rate", "utility", "hung_fraction",
+                "best", "estimates", "faults", "erosion",
+            }
+            assert point["crash_rate"] == 0.1
+            assert point["best"]["n_runs"] == 20
+            assert point["estimates"]
+
+
+class TestStatsDumpSchema:
+    @staticmethod
+    def _stats_dump(out):
+        # The dump is the JSON array printed after the human-readable
+        # output; its opening bracket sits alone on its own line.
+        return json.loads(out[out.index("\n[") + 1:])
+
+    def test_stats_json_parses_with_full_schema(self, capsys):
+        out = run_cli(capsys, "--runs", "40", "--stats", "attack", "dummy")
+        history = self._stats_dump(out)
+        assert history, "no batches recorded"
+        required = {
+            "backend", "jobs", "n_tasks", "n_chunks", "requested",
+            "executions", "wall_clock_s", "executions_per_sec",
+            "stopped_early", "failed_attempts", "retries", "timeouts",
+            "serial_replays", "cancelled_chunks", "degraded",
+            "setup_s", "execute_s", "classify_s",
+            "memo_hits", "memo_misses",
+            "cache_hits", "cache_misses", "cache_stores", "chunks",
+        }
+        for stats in history:
+            assert required <= set(stats)
+            assert stats["backend"] in ("serial", "process-pool")
+            for chunk in stats["chunks"]:
+                assert set(chunk) >= {
+                    "task_index", "start", "stop", "attempts", "outcome",
+                    "backend", "wall_clock_s", "cache",
+                }
+
+    def test_stats_totals_match_requested_runs(self, capsys):
+        out = run_cli(capsys, "--runs", "40", "--stats", "attack", "dummy")
+        history = self._stats_dump(out)
+        for stats in history:
+            if not stats["stopped_early"]:
+                assert stats["executions"] == stats["requested"]
+
+
+class TestProfileCommand:
+    def test_profile_output_structure(self, capsys):
+        out = run_cli(capsys, "--runs", "20", "profile", "pi1")
+        assert "protocol: pi1-naive" in out
+        assert "function" in out and "cumtime" in out
+        assert "phases: setup" in out
+        assert "setup memos:" in out
+
+    def test_profile_default_protocol_and_top(self, capsys):
+        out = run_cli(capsys, "--runs", "10", "profile", "--top", "3")
+        assert "opt-2sfe" in out
+        # Header + up to 3 hotspot rows before the phases line.
+        table = out[: out.index("phases:")]
+        assert len([l for l in table.splitlines() if l.strip()]) <= 6
+
+
+class TestVerifyCommand:
+    def test_exit_zero_and_artifact(self, capsys, tmp_path):
+        out_path = tmp_path / "verify.json"
+        captured = run_cli_expecting(
+            capsys, 0,
+            "--seed", "cli-verify",
+            "verify", "--claims", "E4,E10-rounds", "--budget", "small",
+            "--json", str(out_path),
+        )
+        assert "ok" in captured.out
+        assert "artifact written" in captured.out
+        payload = json.loads(out_path.read_text())
+        assert payload["exit_code"] == 0
+        assert payload["summary"]["violated"] == 0
+        assert payload["master_seed"] == repr("cli-verify")
+        ids = [c["claim"]["claim_id"] for c in payload["checks"]]
+        assert ids == ["E4-opt2sfe", "E4-single-round", "E10-rounds"]
+        for check in payload["checks"]:
+            assert check["verdict"] in ("ok", "within-tolerance")
+            assert "seed" in check and "chunk_spans" in check
+
+    def test_exit_two_on_unknown_claim(self, capsys):
+        captured = run_cli_expecting(
+            capsys, 2, "verify", "--claims", "E99", "--budget", "small"
+        )
+        assert "unknown claim" in captured.err
+
+    def test_exit_two_on_bad_budget(self, capsys):
+        captured = run_cli_expecting(
+            capsys, 2, "verify", "--claims", "E4", "--budget", "banana"
+        )
+        assert "unknown budget" in captured.err
+
+    def test_exit_one_on_violation(self, capsys, monkeypatch):
+        from repro.verify import (
+            BoundKind, Claim, ClaimRegistry, Measurement, TolerancePolicy,
+        )
+        import repro.verify.checker as checker_mod
+
+        rigged = ClaimRegistry([
+            Claim(
+                claim_id="RIGGED", experiment="T", paper_ref="test",
+                statement="always violated", kind=BoundKind.UPPER,
+                analytic=lambda: 0.0,
+                measure=lambda ctx: Measurement.exact(1.0),
+                tolerance=TolerancePolicy(slack=0.0, z=0.0),
+            )
+        ])
+        monkeypatch.setattr(checker_mod, "default_registry", lambda: rigged)
+        captured = run_cli_expecting(
+            capsys, 1, "verify", "--claims", "all", "--budget", "small"
+        )
+        assert "violated" in captured.out
+
+    def test_jobs_accepted_after_subcommand(self, capsys):
+        captured = run_cli_expecting(
+            capsys, 0,
+            "verify", "--claims", "E10-rounds", "--budget", "small",
+            "--jobs", "2",
+        )
+        assert "ok" in captured.out

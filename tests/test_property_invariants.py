@@ -1,0 +1,195 @@
+"""Property-based invariants (hypothesis) behind the verification stack.
+
+Four algebraic contracts the claims checker silently relies on:
+
+* Shamir ``share ∘ reconstruct`` is the identity for every valid
+  ``(threshold, n, field)`` and any qualified subset of shares;
+* interned :class:`Field` instances satisfy the field axioms;
+* ``encode_seed`` is injective over composite seed material and stable
+  (round-trips to the same digest), which is what makes every run
+  replayable from ``(master seed, claim id, run index)``;
+* ``EventCounts.merge`` is associative and commutative with ``EventCounts()``
+  as identity, which is what lets chunk partials fold in any grouping.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import FairnessEvent
+from repro.core.utility import EventCounts
+from repro.crypto import shamir_reconstruct, shamir_share
+from repro.crypto.field import get_field
+from repro.crypto.prf import Rng, encode_seed
+
+#: Small primes large enough for up to 8 Shamir evaluation points.
+PRIMES = [11, 97, 101, 257, 7919, 65537, 2**31 - 1]
+
+fields = st.sampled_from(PRIMES).map(get_field)
+
+
+# ---------------------------------------------------------------------------
+# Shamir sharing
+# ---------------------------------------------------------------------------
+
+shamir_cases = st.tuples(
+    st.sampled_from(PRIMES),
+    st.integers(2, 8),          # n parties
+    st.integers(1, 8),          # raw threshold, clamped to [1, n]
+    st.integers(0, 2**64),      # raw secret, reduced mod p
+    st.integers(0, 2**32),      # rng seed material
+)
+
+
+class TestShamirRoundTrip:
+    @given(shamir_cases)
+    @settings(max_examples=60)
+    def test_share_then_reconstruct_is_identity(self, case):
+        p, n, raw_t, raw_secret, seed = case
+        threshold = min(raw_t, n)
+        f = get_field(p)
+        secret = raw_secret % p
+        shares = shamir_share(secret, threshold, n, f, Rng(("shamir", seed)))
+        assert len(shares) == n
+        assert shamir_reconstruct(shares[:threshold], threshold, f) == secret
+
+    @given(shamir_cases, st.integers(0, 2**32))
+    @settings(max_examples=40)
+    def test_any_qualified_subset_reconstructs(self, case, pick_seed):
+        p, n, raw_t, raw_secret, seed = case
+        threshold = min(raw_t, n)
+        f = get_field(p)
+        secret = raw_secret % p
+        shares = shamir_share(secret, threshold, n, f, Rng(("shamir", seed)))
+        subset = Rng(("subset", pick_seed)).sample(shares, threshold)
+        assert shamir_reconstruct(subset, threshold, f) == secret
+
+
+# ---------------------------------------------------------------------------
+# Field axioms on interned instances
+# ---------------------------------------------------------------------------
+
+class TestFieldAxioms:
+    @given(fields, st.integers(0, 2**64), st.integers(0, 2**64),
+           st.integers(0, 2**64))
+    @settings(max_examples=60)
+    def test_ring_axioms(self, f, a, b, c):
+        a, b, c = f.reduce(a), f.reduce(b), f.reduce(c)
+        assert f.add(a, b) == f.add(b, a)
+        assert f.mul(a, b) == f.mul(b, a)
+        assert f.add(f.add(a, b), c) == f.add(a, f.add(b, c))
+        assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+        assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+
+    @given(fields, st.integers(0, 2**64))
+    @settings(max_examples=60)
+    def test_identities_and_inverses(self, f, a):
+        a = f.reduce(a)
+        assert f.add(a, 0) == a
+        assert f.mul(a, 1) == a
+        assert f.add(a, f.neg(a)) == 0
+        if a != 0:
+            assert f.mul(a, f.inv(a)) == 1
+            assert f.div(a, a) == 1
+
+    @given(st.sampled_from(PRIMES))
+    def test_interning_returns_the_same_instance(self, p):
+        assert get_field(p) is get_field(p)
+
+
+# ---------------------------------------------------------------------------
+# encode_seed injectivity and stability
+# ---------------------------------------------------------------------------
+
+seed_atoms = st.one_of(
+    st.integers(-(2**70), 2**70),
+    st.text(max_size=12),
+    st.binary(max_size=12),
+    st.booleans(),
+    st.none(),
+    st.floats(allow_nan=False, allow_infinity=False),
+)
+
+seed_material = st.recursive(
+    seed_atoms,
+    lambda inner: st.tuples(inner) | st.tuples(inner, inner)
+    | st.tuples(inner, inner, inner),
+    max_leaves=6,
+)
+
+
+def _typed(material):
+    """Canonical form distinguishing 1 / True / 1.0 the way the encoder
+    does (they compare equal in Python but must hash apart)."""
+    if isinstance(material, tuple):
+        return ("tuple",) + tuple(_typed(x) for x in material)
+    return (type(material).__name__, repr(material))
+
+
+class TestEncodeSeed:
+    @given(seed_material)
+    @settings(max_examples=80)
+    def test_round_trip_is_stable(self, material):
+        digest = encode_seed(material)
+        assert isinstance(digest, bytes) and len(digest) == 32
+        assert encode_seed(material) == digest
+
+    @given(st.lists(seed_material, min_size=2, max_size=6))
+    @settings(max_examples=80)
+    def test_injective_over_composites(self, materials):
+        for a, b in itertools.combinations(materials, 2):
+            if _typed(a) != _typed(b):
+                assert encode_seed(a) != encode_seed(b), (a, b)
+
+    @given(seed_material, st.integers(0, 100))
+    @settings(max_examples=40)
+    def test_nesting_is_not_flattened(self, material, i):
+        # ((x,), i) and (x, i) must seed differently: chunk replay relies
+        # on composite structure, not just the leaf values.
+        assert encode_seed(((material,), i)) != encode_seed((material, i))
+
+
+# ---------------------------------------------------------------------------
+# EventCounts merge algebra
+# ---------------------------------------------------------------------------
+
+events = st.sampled_from(list(FairnessEvent))
+corruptions = st.frozensets(st.integers(0, 4), max_size=3)
+
+
+@st.composite
+def event_counts(draw):
+    counts = EventCounts()
+    for event, corrupted in draw(
+        st.lists(st.tuples(events, corruptions), max_size=8)
+    ):
+        counts.record(event, corrupted)
+    return counts
+
+
+class TestEventCountsMonoid:
+    @given(event_counts(), event_counts())
+    @settings(max_examples=60)
+    def test_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(event_counts(), event_counts(), event_counts())
+    @settings(max_examples=60)
+    def test_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(event_counts())
+    @settings(max_examples=40)
+    def test_empty_is_identity(self, a):
+        assert EventCounts() + a == a
+        assert a + EventCounts() == a
+        assert a + EventCounts() + EventCounts() == a
+
+    @given(event_counts(), event_counts())
+    @settings(max_examples=40)
+    def test_merge_totals_add(self, a, b):
+        ta, tb = a.total, b.total
+        merged = a + b
+        assert merged.total == ta + tb
+        assert sum(merged.corruption_counts.values()) == ta + tb
