@@ -13,11 +13,12 @@ compiler and interned fields):
    priming pass serves every chunk from disk.
 
 All three must produce bit-identical estimates (asserted
-unconditionally, as is serial-vs-pool identity).  The wall-clock
-verdicts — warm disk cache ≥ 2× cold, warm memos no slower than cold —
-are only *asserted* on hosts with ≥ 4 CPUs; smaller machines (CI
-containers are often 1–2 CPUs with noisy clocks) record the numbers
-without a verdict.  The measured numbers are written to
+unconditionally, as is serial-vs-pool identity).  The wall-clock verdict
+— warm disk cache ≥ 2× cold — is also asserted unconditionally: unlike
+pool-parallel speedups it does not depend on the host's CPU count (disk
+replay beats recomputation even on the 1-CPU containers CI uses), so the
+benchmark always carries a verdict and records the host's ``cpus``
+alongside every pass for context.  The measured numbers are written to
 ``BENCH_hotpath.json`` at the repo root so the trajectory is committed
 alongside the code it describes.
 
@@ -45,7 +46,6 @@ from repro.runtime import ChunkCache, ProcessPoolRunner, SerialRunner
 RUNS_2SFE = 150
 RUNS_GMW = 60
 SPEEDUP_FLOOR = 2.0
-MIN_CPUS_FOR_VERDICT = 4
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
 
@@ -119,7 +119,6 @@ def run_benchmark():
 
     disk_speedup = cold_s / max(cached_s, 1e-9)
     warm_speedup = cold_s / max(warm_s, 1e-9)
-    verdict_ok = cpus >= MIN_CPUS_FOR_VERDICT
 
     payload = {
         "workload": {
@@ -129,25 +128,33 @@ def run_benchmark():
         },
         "cpus": cpus,
         "passes": {
-            "cold": {"wall_s": round(cold_s, 4), **_round(cold_tot)},
-            "warm_memoized": {"wall_s": round(warm_s, 4), **_round(warm_tot)},
-            "disk_prime": {"wall_s": round(prime_s, 4), **_round(prime_tot)},
-            "disk_cached": {"wall_s": round(cached_s, 4), **_round(cached_tot)},
+            "cold": {
+                "wall_s": round(cold_s, 4), "cpus": cpus, **_round(cold_tot)
+            },
+            "warm_memoized": {
+                "wall_s": round(warm_s, 4), "cpus": cpus, **_round(warm_tot)
+            },
+            "disk_prime": {
+                "wall_s": round(prime_s, 4), "cpus": cpus, **_round(prime_tot)
+            },
+            "disk_cached": {
+                "wall_s": round(cached_s, 4), "cpus": cpus,
+                **_round(cached_tot)
+            },
         },
         "speedups": {
             "warm_memoized_vs_cold": round(warm_speedup, 3),
             "disk_cached_vs_cold": round(disk_speedup, 3),
         },
-        "asserted": verdict_ok,
+        "asserted": True,
         "bit_identical": True,
     }
     ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
-    if verdict_ok:
-        assert disk_speedup >= SPEEDUP_FLOOR, (
-            f"warm disk cache only {disk_speedup:.2f}x vs cold "
-            f"(floor {SPEEDUP_FLOOR}x)"
-        )
+    assert disk_speedup >= SPEEDUP_FLOOR, (
+        f"warm disk cache only {disk_speedup:.2f}x vs cold "
+        f"(floor {SPEEDUP_FLOOR}x)"
+    )
     return payload
 
 

@@ -1,0 +1,183 @@
+"""Vectorized backend — reference engine vs. NumPy kernels, bit-identical.
+
+One sweep over the vectorizable workloads (the Gordon–Katz 1/p protocols
+under the worst-case known-output stopper, and the single-round /
+gradual-release strawmen under lock-watching aborters), executed twice:
+
+1. **reference** — the ``engine.execution`` state machine, one run at a
+   time (``--backend reference``).
+2. **vectorized** — the NumPy kernels in ``repro.runtime.vectorized``,
+   whole chunks as array operations (``--backend vectorized``, forced so
+   an eligibility regression fails loudly instead of quietly measuring
+   the reference engine twice).
+
+Bit-identity is asserted unconditionally: every task's event counts and
+corruption counts must match exactly, run for run.  The wall-clock
+verdict — vectorized ≥ 10× reference — is asserted at the ``large``
+budget (the committed artifact); the ``small`` budget (CI's perf-smoke
+lane) records the numbers and still asserts bit-identity, but skips the
+speedup floor since tiny batches under-amortise kernel setup.  Results
+are written to ``BENCH_vectorized.json`` at the repo root.
+
+Runnable standalone (``python benchmarks/bench_vectorized.py [--budget
+small|large]``, default large) or under pytest (budget from
+``REPRO_BENCH_BUDGET``, default small).
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.adversaries import KnownOutputStopper, LockWatchingAborter, fixed
+from repro.functions import make_and
+from repro.protocols import (
+    GordonKatzProtocol,
+    GradualReleaseProtocol,
+    SingleRoundProtocol,
+)
+from repro.runtime import HAVE_NUMPY, ExecutionTask, SerialRunner
+from repro.verify.claims import constant_inputs
+
+SPEEDUP_FLOOR = 10.0
+
+#: Runs per workload at the ``large`` budget; ``small`` divides by 8.
+LARGE_RUNS = {
+    "gordon-katz-p2": 2400,
+    "gordon-katz-p4": 1200,
+    "single-round": 1200,
+    "gradual-release": 1200,
+}
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_vectorized.json"
+
+
+def _workloads(scale: int):
+    known = fixed(
+        "known-output", lambda: KnownOutputStopper(0, known_output=1)
+    )
+    lock0 = fixed("lock-watch[0]", lambda: LockWatchingAborter({0}))
+    sampler = constant_inputs((1, 1))
+    protos = {
+        "gordon-katz-p2": (GordonKatzProtocol(make_and(), p=2), known),
+        "gordon-katz-p4": (GordonKatzProtocol(make_and(), p=4), known),
+        "single-round": (SingleRoundProtocol(make_and()), lock0),
+        "gradual-release": (GradualReleaseProtocol(make_and()), lock0),
+    }
+    return [
+        (
+            name,
+            ExecutionTask(
+                protocol,
+                factory,
+                max(1, LARGE_RUNS[name] // scale),
+                seed=("bench-vectorized", name),
+                input_sampler=sampler,
+            ),
+        )
+        for name, (protocol, factory) in protos.items()
+    ]
+
+
+def _sweep(backend: str, scale: int):
+    runner = SerialRunner(cache=None, backend=backend)
+    t0 = time.perf_counter()
+    results = {}
+    vectorized_runs = 0
+    for name, task in _workloads(scale):
+        results[name] = runner.run_one(task)
+        vectorized_runs += runner.last_stats.vectorized_runs
+    return results, time.perf_counter() - t0, vectorized_runs
+
+
+def run_benchmark(budget: str = "large"):
+    if not HAVE_NUMPY:
+        raise SystemExit(
+            "bench_vectorized needs numpy (the reference engine still "
+            "works without it; there is just nothing to benchmark)"
+        )
+    if budget not in ("small", "large"):
+        raise SystemExit(f"unknown budget {budget!r}; use small or large")
+    scale = 1 if budget == "large" else 8
+    cpus = os.cpu_count() or 1
+
+    ref_results, ref_s, ref_vec_runs = _sweep("reference", scale)
+    vec_results, vec_s, vec_runs = _sweep("vectorized", scale)
+
+    # Bit-identity is the backend's contract — asserted at every budget.
+    assert ref_vec_runs == 0, "reference pass used the vectorized engine"
+    total_runs = 0
+    for name, ref in ref_results.items():
+        vec = vec_results[name]
+        assert ref.counts == vec.counts, f"{name}: event counts diverged"
+        assert ref.corruption_counts == vec.corruption_counts, (
+            f"{name}: corruption counts diverged"
+        )
+        total_runs += ref.total
+    assert vec_runs == total_runs, "vectorized pass fell back somewhere"
+
+    speedup = ref_s / max(vec_s, 1e-9)
+    asserted = budget == "large"
+    payload = {
+        "workload": {
+            "runs": {
+                name: max(1, LARGE_RUNS[name] // scale)
+                for name in LARGE_RUNS
+            },
+            "total_runs": total_runs,
+        },
+        "budget": budget,
+        "cpus": cpus,
+        "passes": {
+            "reference": {
+                "wall_s": round(ref_s, 4),
+                "ms_per_run": round(1000.0 * ref_s / total_runs, 4),
+                "cpus": cpus,
+            },
+            "vectorized": {
+                "wall_s": round(vec_s, 4),
+                "ms_per_run": round(1000.0 * vec_s / total_runs, 4),
+                "cpus": cpus,
+                "vectorized_runs": vec_runs,
+            },
+        },
+        "speedup_vectorized_vs_reference": round(speedup, 3),
+        "asserted": asserted,
+        "bit_identical": True,
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    if asserted:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"vectorized backend only {speedup:.2f}x vs reference "
+            f"(floor {SPEEDUP_FLOOR}x at budget=large)"
+        )
+    return payload
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+def test_vectorized_speedup(capsys):
+    budget = os.environ.get("REPRO_BENCH_BUDGET", "small")
+    payload = run_benchmark(budget)
+    with capsys.disabled():
+        print(
+            "\nvectorized vs reference: "
+            f"{payload['speedup_vectorized_vs_reference']}x "
+            f"(budget={payload['budget']}, "
+            f"asserted={payload['asserted']})"
+        )
+
+
+if __name__ == "__main__":
+    budget = "large"
+    argv = sys.argv[1:]
+    if argv[:1] == ["--budget"] and len(argv) > 1:
+        budget = argv[1]
+    elif argv and argv[0].startswith("--budget="):
+        budget = argv[0].split("=", 1)[1]
+    print(json.dumps(run_benchmark(budget), indent=2, sort_keys=True))

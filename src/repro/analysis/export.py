@@ -119,6 +119,7 @@ def chunk_stats_to_dict(chunk: ChunkStats) -> dict:
         "execute_s": chunk.execute_s,
         "classify_s": chunk.classify_s,
         "cache": chunk.cache,
+        "engine": chunk.engine,
     }
 
 
@@ -147,6 +148,8 @@ def run_stats_to_dict(stats: RunStats) -> dict:
         "cache_hits": stats.cache_hits,
         "cache_misses": stats.cache_misses,
         "cache_stores": stats.cache_stores,
+        "execution_backend": stats.execution_backend,
+        "vectorized_runs": stats.vectorized_runs,
         "chunks": [chunk_stats_to_dict(c) for c in stats.chunks],
     }
 

@@ -10,7 +10,7 @@ Commands
 ``curve``          per-t utility curves for two protocols + crossover
 ``fault-sensitivity`` utility-erosion curve under engine fault injection
 ``profile``        cProfile a small batch and print the top hotspots
-``verify``         check the registered paper claims (E1–E18) and exit
+``verify``         check the registered paper claims (E1–E20) and exit
                    0 (all ok) / 1 (violated) / 2 (bad claim spec)
 
 All measurements are Monte-Carlo; ``--runs`` and ``--seed`` control the
@@ -24,7 +24,13 @@ degradation counters, per-phase timings, and cache traffic — after the
 command output.  ``--cache DIR`` (or ``REPRO_CACHE_DIR``) enables the
 persistent chunk-result cache: re-running a sweep with the same
 protocol, strategies, seed, and fault config replays stored chunk
-partials bit-identically instead of recomputing them.
+partials bit-identically instead of recomputing them.  ``--backend``
+(or ``REPRO_BACKEND``) selects the execution engine: ``auto`` (default)
+hands eligible (protocol, strategy) chunks to the NumPy vectorized
+backend and falls back to the reference state machine per task,
+``reference`` forces the state machine, ``vectorized`` asserts
+eligibility and fails loudly on any non-vectorizable task — all three
+produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -179,6 +185,16 @@ def build_parser() -> argparse.ArgumentParser:
         "seed, span, faults) chunks are replayed from disk",
     )
     parser.add_argument(
+        "--backend",
+        choices=("auto", "reference", "vectorized"),
+        default=None,
+        help="execution backend for Monte-Carlo chunks (default: "
+        "$REPRO_BACKEND or auto); 'auto' uses the NumPy vectorized "
+        "engine for eligible (protocol, strategy) combinations and "
+        "falls back per task, 'vectorized' asserts eligibility, "
+        "'reference' always steps the state machine",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="dump each batch's RunStats (throughput + retry/degradation "
@@ -293,6 +309,12 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--jobs",
         type=_parse_jobs,
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+    verify.add_argument(
+        "--backend",
+        choices=("auto", "reference", "vectorized"),
         default=argparse.SUPPRESS,
         help=argparse.SUPPRESS,
     )
@@ -489,7 +511,7 @@ def cmd_profile(args, registry) -> str:
         )
         for factory in space
     ]
-    runner = SerialRunner(cache=None)
+    runner = SerialRunner(cache=None, backend=args.backend)
     profiler = cProfile.Profile()
     profiler.enable()
     try:
@@ -532,7 +554,19 @@ def cmd_profile(args, registry) -> str:
             f"setup memos: {run_stats.memo_hits} hits, "
             f"{run_stats.memo_misses} misses"
         ),
+        (
+            f"execution backend: {run_stats.execution_backend} "
+            f"({run_stats.vectorized_runs} vectorized runs)"
+        ),
     ]
+    from .runtime import HAVE_NUMPY
+
+    if not HAVE_NUMPY:
+        lines.append(
+            "note: vectorized backend unavailable (numpy not installed); "
+            "all runs used the reference engine — install numpy to "
+            "profile the NumPy kernels"
+        )
     return "\n".join(lines)
 
 
@@ -583,7 +617,12 @@ def _build_runner(args):
         retry = replace(retry, max_retries=max(0, args.max_retries))
     if args.chunk_timeout is not None:
         retry = replace(retry, chunk_timeout_s=args.chunk_timeout)
-    return resolve_runner(args.jobs, retry=retry, cache=resolve_cache(args.cache))
+    return resolve_runner(
+        args.jobs,
+        retry=retry,
+        cache=resolve_cache(args.cache),
+        backend=args.backend,
+    )
 
 
 def main(argv: List[str] = None) -> int:

@@ -103,6 +103,16 @@ class Rng:
         self._prg = Prg(hashlib.sha256(b"rng:" + bytes(seed)).digest())
         self._seed = bytes(seed)
 
+    @property
+    def seed_bytes(self) -> bytes:
+        """The canonical seed material ``fork`` derives children from.
+
+        Exposed so alternative stream implementations (the vectorized
+        backend) can replicate the fork tree without re-encoding the
+        original seed object.
+        """
+        return self._seed
+
     def fork(self, label: str) -> "Rng":
         """Derive an independent RNG for the given label.
 

@@ -8,7 +8,11 @@ over worker processes.  Both produce bit-identical results for the same
 seed — and both recover from failed chunk attempts through the retry
 ladder in ``runtime.retry`` (bounded retries, then trusted serial
 replay), so a crashed worker can never bias a measured event frequency.
-See docs/architecture.md ("Measurement runtime" / "Failure semantics").
+Orthogonally to the venue, each chunk is computed by an *execution
+backend*: the reference state machine, or — for eligible tasks — a
+NumPy kernel from ``runtime.vectorized`` that reproduces the reference
+results bit-for-bit.  See docs/architecture.md ("Measurement runtime" /
+"Failure semantics" / "Execution backends").
 """
 
 from .cache import (
@@ -50,6 +54,14 @@ from .tasks import (
     merge_partials,
     plan_chunks,
 )
+from .vectorized import (
+    BACKENDS,
+    ENV_BACKEND,
+    HAVE_NUMPY,
+    BackendError,
+    resolve_backend,
+    vectorizable,
+)
 
 __all__ = [
     "BatchRunner",
@@ -87,4 +99,10 @@ __all__ = [
     "PHASES",
     "ENV_CACHE_DIR",
     "CACHE_SCHEMA_VERSION",
+    "BACKENDS",
+    "ENV_BACKEND",
+    "HAVE_NUMPY",
+    "BackendError",
+    "resolve_backend",
+    "vectorizable",
 ]

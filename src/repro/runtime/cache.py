@@ -86,6 +86,7 @@ INSTRUMENT_KEYS = (
     "cache_hits",
     "cache_misses",
     "cache_stores",
+    "vectorized_runs",
 )
 
 
@@ -100,6 +101,7 @@ def instrumentation_snapshot() -> dict:
     # reads their counters without the low layers knowing about us.
     from ..circuits import compiler
     from ..crypto import field
+    from .vectorized.registry import COUNTERS as vectorized_counters
 
     field_memo = field.memo_counters()
     circuit_memo = compiler.memo_counters()
@@ -112,6 +114,7 @@ def instrumentation_snapshot() -> dict:
         "cache_hits": ChunkCache.counters["hits"],
         "cache_misses": ChunkCache.counters["misses"],
         "cache_stores": ChunkCache.counters["stores"],
+        "vectorized_runs": vectorized_counters["vectorized_runs"],
     }
 
 

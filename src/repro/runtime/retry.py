@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..crypto.prf import Rng
+from .cache import PHASES
 
 #: Retry/timeout environment knobs (no explicit argument wins over these).
 ENV_MAX_RETRIES = "REPRO_MAX_RETRIES"
@@ -172,6 +173,36 @@ class FaultSpec:
 NO_FAULTS = FaultSpec(rate=0.0)
 
 
+def _execute_chunk(task, start: int, stop: int, backend: str):
+    """Run one chunk on the requested execution backend.
+
+    ``auto`` consults the vectorizability registry and silently falls
+    back to the reference engine; ``vectorized`` raises on tasks no
+    kernel covers; ``reference`` never consults the registry.  Kernel
+    results are bit-identical to ``task.run_chunk`` by the registry's
+    contract, so cache keys and merge semantics are backend-independent.
+    """
+    if backend != "reference":
+        from .vectorized import BackendError, kernel_for
+        from .vectorized.registry import COUNTERS
+
+        kernel = kernel_for(task)
+        if kernel is not None:
+            t0 = time.perf_counter()
+            part = kernel(start, stop)
+            PHASES.execute_s += time.perf_counter() - t0
+            COUNTERS["vectorized_runs"] += stop - start
+            return part
+        if backend == "vectorized":
+            raise BackendError(
+                f"backend 'vectorized' was forced but task "
+                f"{getattr(task, 'label', task)!r} has no registered "
+                "kernel (unknown strategy, active faults, non-constant "
+                "inputs, or numpy unavailable); use --backend auto"
+            )
+    return task.run_chunk(start, stop)
+
+
 def run_task_chunk(
     task,
     task_index: int,
@@ -181,6 +212,7 @@ def run_task_chunk(
     fault: Optional[FaultSpec] = None,
     in_worker: bool = False,
     cache=None,
+    backend: str = "auto",
 ):
     """Execute one chunk attempt, injecting a fault first when due.
 
@@ -195,6 +227,11 @@ def run_task_chunk(
     ladder identically with and without a cache; the trusted serial
     replay rung (``task.run_chunk`` called by the runners) never
     consults the cache at all.
+
+    ``backend`` selects the execution engine (see
+    :mod:`repro.runtime.vectorized`).  Vectorized and reference chunks
+    share cache keys — their partials are bit-identical — so a cache
+    warmed under one backend serves the other.
     """
     if fault is not None and fault.should_fail(task_index, start, attempt):
         if in_worker and fault.kind == "exit":
@@ -211,7 +248,7 @@ def run_task_chunk(
             hit, value = cache.fetch(key)
             if hit:
                 return value
-            part = task.run_chunk(start, stop)
+            part = _execute_chunk(task, start, stop, backend)
             cache.store(key, part)
             return part
-    return task.run_chunk(start, stop)
+    return _execute_chunk(task, start, stop, backend)

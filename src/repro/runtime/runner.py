@@ -47,6 +47,7 @@ from .early_stop import EarlyStopRule
 from .retry import ChunkTimeout, FaultSpec, RetryPolicy, run_task_chunk
 from .stats import BatchLog, RunStats
 from .tasks import merge_partials, plan_chunks
+from .vectorized import BackendError, resolve_backend
 
 #: Environment variable consulted when no explicit ``jobs`` is given.
 REPRO_JOBS_ENV = "REPRO_JOBS"
@@ -91,20 +92,23 @@ def resolve_runner(
     retry: Optional[RetryPolicy] = None,
     fault: Optional[FaultSpec] = None,
     cache: Optional[ChunkCache] = None,
+    backend: Optional[str] = None,
 ) -> "BatchRunner":
     """Build the runner implied by ``jobs``/``REPRO_JOBS`` (serial if ≤ 1).
 
-    ``retry``/``fault``/``cache`` default to the ``REPRO_MAX_RETRIES`` /
-    ``REPRO_CHUNK_TIMEOUT`` / ``REPRO_FAULT_*`` / ``REPRO_CACHE_DIR``
-    environment knobs.
+    ``retry``/``fault``/``cache``/``backend`` default to the
+    ``REPRO_MAX_RETRIES`` / ``REPRO_CHUNK_TIMEOUT`` / ``REPRO_FAULT_*`` /
+    ``REPRO_CACHE_DIR`` / ``REPRO_BACKEND`` environment knobs.
     """
     n = resolve_jobs(jobs)
     if n <= 1:
         return SerialRunner(
-            chunk_size=chunk_size, retry=retry, fault=fault, cache=cache
+            chunk_size=chunk_size, retry=retry, fault=fault, cache=cache,
+            backend=backend,
         )
     return ProcessPoolRunner(
-        n, chunk_size=chunk_size, retry=retry, fault=fault, cache=cache
+        n, chunk_size=chunk_size, retry=retry, fault=fault, cache=cache,
+        backend=backend,
     )
 
 
@@ -123,6 +127,7 @@ class BatchRunner:
         retry: Optional[RetryPolicy] = None,
         fault: Optional[FaultSpec] = None,
         cache: Optional[ChunkCache] = None,
+        backend: Optional[str] = None,
     ):
         self.chunk_size = chunk_size
         self.retry = retry if retry is not None else RetryPolicy.from_env()
@@ -131,6 +136,11 @@ class BatchRunner:
         #: Persistent chunk-result cache; strictly opt-in (an explicit
         #: instance or the ``REPRO_CACHE_DIR`` environment knob).
         self.cache = cache if cache is not None else ChunkCache.from_env()
+        #: Execution engine policy (``auto``/``reference``/``vectorized``)
+        #: — distinct from the venue (``self.backend``): the venue says
+        #: *where* chunks run, the execution backend says *what* computes
+        #: them.  Explicit argument > ``REPRO_BACKEND`` > ``auto``.
+        self.exec_backend = resolve_backend(backend)
         self.last_stats: Optional[RunStats] = None
         #: Every batch's RunStats, oldest first (the CLI ``--stats`` dump).
         self.stats_history: List[RunStats] = []
@@ -165,6 +175,17 @@ class BatchRunner:
         return plan_chunks(task.n_runs, self.chunk_size)
 
     def _record(self, n_tasks, requested, t0, stopped, log: BatchLog) -> None:
+        engines = {
+            c.engine
+            for c in log.chunks
+            if c.outcome != "cancelled" and c.engine != "cache"
+        }
+        if not log.vectorized_runs:
+            execution_backend = "reference"
+        elif engines == {"vectorized"}:
+            execution_backend = "vectorized"
+        else:
+            execution_backend = "mixed"
         self.last_stats = RunStats(
             backend=self.backend,
             jobs=getattr(self, "jobs", 1),
@@ -187,6 +208,8 @@ class BatchRunner:
             cache_hits=log.cache_hits,
             cache_misses=log.cache_misses,
             cache_stores=log.cache_stores,
+            execution_backend=execution_backend,
+            vectorized_runs=log.vectorized_runs,
             chunks=tuple(log.chunks),
         )
         self.stats_history.append(self.last_stats)
@@ -207,6 +230,7 @@ class BatchRunner:
                 part = run_task_chunk(
                     task, ti, start, stop, attempt, self.fault,
                     in_worker=False, cache=self.cache,
+                    backend=self.exec_backend,
                 )
                 outcome = "ok" if attempt == 0 else "retried"
                 log.chunk(
@@ -215,6 +239,12 @@ class BatchRunner:
                     inst=instrumentation_delta(before),
                 )
                 return part
+            except BackendError:
+                # A forced-``vectorized`` task with no kernel is a
+                # configuration error, not a transient failure: retrying
+                # (or degrading to the reference replay rung) would
+                # silently void the caller's backend assertion.
+                raise
             except Exception:
                 log.failed_attempts += 1
                 if attempt < policy.max_retries:
@@ -281,12 +311,18 @@ class SerialRunner(BatchRunner):
 
 _WORKER_TASKS: Sequence = ()
 _WORKER_CACHE: Optional[ChunkCache] = None
+_WORKER_BACKEND: str = "auto"
 
 
-def _worker_init(tasks: Sequence, cache: Optional[ChunkCache] = None) -> None:
-    global _WORKER_TASKS, _WORKER_CACHE
+def _worker_init(
+    tasks: Sequence,
+    cache: Optional[ChunkCache] = None,
+    backend: str = "auto",
+) -> None:
+    global _WORKER_TASKS, _WORKER_CACHE, _WORKER_BACKEND
     _WORKER_TASKS = tasks
     _WORKER_CACHE = cache
+    _WORKER_BACKEND = backend
 
 
 def _worker_run_chunk(
@@ -299,15 +335,15 @@ def _worker_run_chunk(
     """Worker-side chunk execution.
 
     Returns ``(partial, inst)`` — the instrumentation delta (phase
-    seconds, memo/cache counter increments) measured in *this* worker is
-    shipped back with the result so the parent's batch totals aggregate
-    across processes.
+    seconds, memo/cache counter increments, vectorized-run counts)
+    measured in *this* worker is shipped back with the result so the
+    parent's batch totals aggregate across processes.
     """
     task = _WORKER_TASKS[task_index]
     before = instrumentation_snapshot()
     part = run_task_chunk(
         task, task_index, start, stop, attempt, fault,
-        in_worker=True, cache=_WORKER_CACHE,
+        in_worker=True, cache=_WORKER_CACHE, backend=_WORKER_BACKEND,
     )
     return part, instrumentation_delta(before)
 
@@ -338,9 +374,11 @@ class ProcessPoolRunner(BatchRunner):
         retry: Optional[RetryPolicy] = None,
         fault: Optional[FaultSpec] = None,
         cache: Optional[ChunkCache] = None,
+        backend: Optional[str] = None,
     ):
         super().__init__(
-            chunk_size=chunk_size, retry=retry, fault=fault, cache=cache
+            chunk_size=chunk_size, retry=retry, fault=fault, cache=cache,
+            backend=backend,
         )
         if jobs < 1:
             raise ValueError("ProcessPoolRunner needs at least one worker")
@@ -358,6 +396,7 @@ class ProcessPoolRunner(BatchRunner):
             serial = SerialRunner(
                 chunk_size=self.chunk_size, retry=self.retry,
                 fault=self.fault, cache=self.cache,
+                backend=self.exec_backend,
             )
             try:
                 return serial.run(tasks, early_stop=early_stop)
@@ -378,7 +417,7 @@ class ProcessPoolRunner(BatchRunner):
             max_workers=self.jobs,
             mp_context=ctx,
             initializer=_worker_init,
-            initargs=(tasks, self.cache),
+            initargs=(tasks, self.cache, self.exec_backend),
         )
         submitted: List[List[tuple]] = []
         handled: set = set()
@@ -452,6 +491,9 @@ class ProcessPoolRunner(BatchRunner):
                     inst=inst,
                 )
                 return part
+            except BackendError:
+                # Propagate backend assertions (see _serial_chunk).
+                raise
             except ChunkTimeout:
                 log.failed_attempts += 1
                 log.timeouts += 1

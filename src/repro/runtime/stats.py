@@ -44,6 +44,12 @@ class ChunkStats:
     chunk's journey through the persistent chunk cache: ``"hit"`` —
     served from disk, ``"stored"`` — computed and persisted, ``""`` — no
     cache involved.
+
+    ``backend`` names the *venue* (``"serial"``/``"process-pool"``);
+    ``engine`` names the execution engine that computed the partial —
+    ``"reference"`` for the state machine, ``"vectorized"`` for a NumPy
+    kernel, ``"cache"`` when the partial was served from disk and no
+    engine ran at all.
     """
 
     task_index: int
@@ -57,6 +63,7 @@ class ChunkStats:
     execute_s: float = 0.0
     classify_s: float = 0.0
     cache: str = ""
+    engine: str = "reference"
 
     @property
     def n_runs(self) -> int:
@@ -74,6 +81,12 @@ class RunStats:
     traffic it generated: ``memo_*`` counts the process-local setup
     memos (validated primes, interned fields, Lagrange bases, compiled
     circuits), ``cache_*`` the persistent chunk-result cache.
+
+    ``backend`` is the runner *venue* (``"serial"``/``"process-pool"``);
+    ``execution_backend`` records which engine computed the events:
+    ``"reference"``, ``"vectorized"``, or ``"mixed"`` when a batch split
+    between them (e.g. some tasks had kernels and others fell back).
+    ``vectorized_runs`` counts the executions handled by NumPy kernels.
     """
 
     backend: str
@@ -97,6 +110,8 @@ class RunStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_stores: int = 0
+    execution_backend: str = "reference"
+    vectorized_runs: int = 0
     chunks: Tuple[ChunkStats, ...] = ()
 
     @property
@@ -170,6 +185,7 @@ class BatchLog:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_stores = 0
+        self.vectorized_runs = 0
         self.chunks: List[ChunkStats] = []
 
     def chunk(
@@ -196,6 +212,12 @@ class BatchLog:
             cache_state = "hit"
         elif inst.get("cache_stores"):
             cache_state = "stored"
+        if cache_state == "hit":
+            engine = "cache"
+        elif inst.get("vectorized_runs"):
+            engine = "vectorized"
+        else:
+            engine = "reference"
         self.chunks.append(
             ChunkStats(
                 task_index,
@@ -209,6 +231,7 @@ class BatchLog:
                 execute_s=inst.get("execute_s", 0.0),
                 classify_s=inst.get("classify_s", 0.0),
                 cache=cache_state,
+                engine=engine,
             )
         )
         self.setup_s += inst.get("setup_s", 0.0)
@@ -219,6 +242,7 @@ class BatchLog:
         self.cache_hits += inst.get("cache_hits", 0)
         self.cache_misses += inst.get("cache_misses", 0)
         self.cache_stores += inst.get("cache_stores", 0)
+        self.vectorized_runs += inst.get("vectorized_runs", 0)
         if outcome == "cancelled":
             self.cancelled += 1
         else:

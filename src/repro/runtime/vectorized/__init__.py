@@ -1,0 +1,50 @@
+"""The vectorized batch-execution backend.
+
+A NumPy engine that evaluates whole Monte-Carlo chunks of eligible
+``(protocol, adversary strategy)`` combinations as array operations over
+stacked per-run RNG streams, instead of stepping the
+``engine.execution`` state machine once per run.  Results are
+bit-identical to the reference engine — same ``EventCounts``, same cache
+keys, same ``deterministic_payload`` — because every kernel recomputes
+the exact labelled SHA-256 streams the reference ``Rng`` forks would
+produce (see :mod:`.streams`) and derives the per-run fairness event in
+closed form (see :mod:`.kernels`).
+
+Public surface:
+
+* :func:`resolve_backend` / :data:`BACKENDS` / :data:`ENV_BACKEND` — the
+  ``auto``/``reference``/``vectorized`` dispatch policy;
+* :func:`kernel_for` / :func:`vectorizable` / :func:`register_kernel` —
+  the vectorizability registry;
+* :data:`HAVE_NUMPY` — whether the backend can run at all.
+"""
+
+from __future__ import annotations
+
+from .np_compat import HAVE_NUMPY
+from .registry import (
+    BACKENDS,
+    COUNTERS,
+    ENV_BACKEND,
+    BackendError,
+    SentinelRng,
+    SentinelRngUsed,
+    kernel_for,
+    register_kernel,
+    resolve_backend,
+    vectorizable,
+)
+
+__all__ = [
+    "BACKENDS",
+    "COUNTERS",
+    "ENV_BACKEND",
+    "BackendError",
+    "HAVE_NUMPY",
+    "SentinelRng",
+    "SentinelRngUsed",
+    "kernel_for",
+    "register_kernel",
+    "resolve_backend",
+    "vectorizable",
+]

@@ -1,0 +1,18 @@
+"""Protocol-family kernels for the vectorized backend.
+
+Importing this package registers every built-in kernel matcher with
+:mod:`..registry`.  One module per protocol family; each module exposes a
+``matcher(task, adversary)`` that returns a chunk kernel (a callable
+``kernel(start, stop) -> EventCounts``) when the task is eligible, and
+``None`` otherwise.
+"""
+
+from __future__ import annotations
+
+from ..registry import register_kernel
+from . import gordon_katz, release
+
+register_kernel(gordon_katz.matcher)
+register_kernel(release.matcher)
+
+__all__ = ["gordon_katz", "release"]

@@ -1,0 +1,27 @@
+"""Guarded NumPy import for the vectorized backend.
+
+The vectorized engine is strictly optional: when NumPy is missing the
+dispatcher reports every task as non-vectorizable and the reference
+engine handles the whole batch, so nothing above this module needs to
+care.  Import ``np``/``HAVE_NUMPY`` from here instead of importing numpy
+directly — that keeps the degradation decision in exactly one place.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised implicitly by every vectorized test
+    import numpy as np
+
+    HAVE_NUMPY = True
+except Exception:  # pragma: no cover - numpy-less environments
+    np = None
+    HAVE_NUMPY = False
+
+
+def require_numpy() -> None:
+    """Raise a clear error when numpy-dependent code is reached without it."""
+    if not HAVE_NUMPY:
+        raise RuntimeError(
+            "the vectorized backend needs numpy, which is not installed; "
+            "install numpy or use --backend reference"
+        )

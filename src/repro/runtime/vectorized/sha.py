@@ -1,0 +1,140 @@
+"""Batched SHA-256 over NumPy byte matrices.
+
+The whole determinism contract of the runtime bottoms out in SHA-256:
+``Rng.fork`` derives child seeds as ``sha256(seed + b"/" + label)`` and
+``Prg`` expands seeds in counter mode as ``sha256(prgseed + counter)``.
+Vectorizing a protocol therefore means vectorizing exactly those two
+shapes — N independent messages of *identical* byte length, hashed to N
+digests.  This module implements the FIPS 180-4 compression function
+with the lane dimension mapped onto NumPy arrays: the Python-level loops
+run over the 64 rounds and the (few) 64-byte blocks, never over runs.
+
+Correctness is checked against :mod:`hashlib` in the test suite; the
+reference engine never calls into this module.
+"""
+
+from __future__ import annotations
+
+from .np_compat import np, require_numpy
+
+#: FIPS 180-4 round constants (fractional parts of cube roots of primes).
+_K = (
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5,
+    0x3956C25B, 0x59F111F1, 0x923F82A4, 0xAB1C5ED5,
+    0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174,
+    0xE49B69C1, 0xEFBE4786, 0x0FC19DC6, 0x240CA1CC,
+    0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7,
+    0xC6E00BF3, 0xD5A79147, 0x06CA6351, 0x14292967,
+    0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85,
+    0xA2BFE8A1, 0xA81A664B, 0xC24B8B70, 0xC76C51A3,
+    0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5,
+    0x391C0CB3, 0x4ED8AA4A, 0x5B9CCA4F, 0x682E6FF3,
+    0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+)
+
+#: Initial hash state (fractional parts of square roots of primes).
+_H0 = (
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+)
+
+
+def _rotr(x, n: int):
+    # uint32 arrays: numpy wraps shifts/additions mod 2**32, which is
+    # exactly the arithmetic SHA-256 wants.
+    return (x >> np.uint32(n)) | (x << np.uint32(32 - n))
+
+
+def sha256_batch(msgs) -> "np.ndarray":
+    """SHA-256 of N equal-length messages.
+
+    ``msgs`` is an ``(N, L)`` uint8 array (one message per row, all rows
+    the same length — group variable-length labels by length before
+    calling).  Returns the ``(N, 32)`` uint8 digest matrix.
+    """
+    require_numpy()
+    msgs = np.ascontiguousarray(msgs, dtype=np.uint8)
+    if msgs.ndim != 2:
+        raise ValueError("sha256_batch wants an (N, L) byte matrix")
+    n, length = msgs.shape
+
+    # Standard padding: 0x80, zeros, 64-bit big-endian bit length.
+    padded_len = ((length + 8) // 64 + 1) * 64
+    data = np.zeros((n, padded_len), dtype=np.uint8)
+    data[:, :length] = msgs
+    data[:, length] = 0x80
+    bit_len = (length * 8).to_bytes(8, "big")
+    data[:, -8:] = np.frombuffer(bit_len, dtype=np.uint8)
+
+    # (N, blocks, 16) big-endian 32-bit words.
+    quads = data.reshape(n, padded_len // 64, 16, 4).astype(np.uint32)
+    words = (
+        (quads[..., 0] << np.uint32(24))
+        | (quads[..., 1] << np.uint32(16))
+        | (quads[..., 2] << np.uint32(8))
+        | quads[..., 3]
+    )
+
+    state = [np.full(n, h, dtype=np.uint32) for h in _H0]
+    w = np.empty((64, n), dtype=np.uint32)
+    for blk in range(padded_len // 64):
+        w[:16] = words[:, blk, :].T
+        for t in range(16, 64):
+            s0 = _rotr(w[t - 15], 7) ^ _rotr(w[t - 15], 18) ^ (w[t - 15] >> np.uint32(3))
+            s1 = _rotr(w[t - 2], 17) ^ _rotr(w[t - 2], 19) ^ (w[t - 2] >> np.uint32(10))
+            w[t] = w[t - 16] + s0 + w[t - 7] + s1
+        a, b, c, d, e, f, g, h = state
+        a, b, c, d = a.copy(), b.copy(), c.copy(), d.copy()
+        e, f, g, h = e.copy(), f.copy(), g.copy(), h.copy()
+        for t in range(64):
+            big_s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
+            ch = (e & f) ^ (~e & g)
+            temp1 = h + big_s1 + ch + np.uint32(_K[t]) + w[t]
+            big_s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
+            maj = (a & b) ^ (a & c) ^ (b & c)
+            temp2 = big_s0 + maj
+            h = g
+            g = f
+            f = e
+            e = d + temp1
+            d = c
+            c = b
+            b = a
+            a = temp1 + temp2
+        state = [
+            state[0] + a, state[1] + b, state[2] + c, state[3] + d,
+            state[4] + e, state[5] + f, state[6] + g, state[7] + h,
+        ]
+
+    out = np.empty((n, 32), dtype=np.uint8)
+    for i, word in enumerate(state):
+        out[:, 4 * i] = (word >> np.uint32(24)).astype(np.uint8)
+        out[:, 4 * i + 1] = (word >> np.uint32(16)).astype(np.uint8)
+        out[:, 4 * i + 2] = (word >> np.uint32(8)).astype(np.uint8)
+        out[:, 4 * i + 3] = word.astype(np.uint8)
+    return out
+
+
+def rows_with_suffix(rows, suffix: bytes) -> "np.ndarray":
+    """Append a constant byte suffix to every row of an (N, L) matrix."""
+    rows = np.ascontiguousarray(rows, dtype=np.uint8)
+    tail = np.frombuffer(suffix, dtype=np.uint8)
+    out = np.empty((rows.shape[0], rows.shape[1] + len(tail)), dtype=np.uint8)
+    out[:, : rows.shape[1]] = rows
+    out[:, rows.shape[1]:] = tail
+    return out
+
+
+def rows_with_rows(rows, tails) -> "np.ndarray":
+    """Concatenate two byte matrices row-wise: ``out[i] = rows[i] + tails[i]``."""
+    rows = np.ascontiguousarray(rows, dtype=np.uint8)
+    tails = np.ascontiguousarray(tails, dtype=np.uint8)
+    out = np.empty((rows.shape[0], rows.shape[1] + tails.shape[1]), dtype=np.uint8)
+    out[:, : rows.shape[1]] = rows
+    out[:, rows.shape[1]:] = tails
+    return out

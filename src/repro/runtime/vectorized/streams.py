@@ -1,0 +1,145 @@
+"""Vectorized replicas of :class:`repro.crypto.prf.Rng` draw semantics.
+
+Each helper reproduces, bit for bit, what one labelled ``Rng`` sub-stream
+of the reference engine would produce — but for N runs at once, with the
+run dimension mapped onto NumPy arrays:
+
+* ``fork``: child seed = ``sha256(parent_seed + b"/" + label)``; labels
+  are independent of consumption order, so a kernel may derive exactly
+  the sub-streams it needs and skip the rest.
+* ``Prg``: block ``j`` of a stream is ``sha256(prgseed + j.to_bytes(8))``
+  where ``prgseed = sha256(b"rng:" + seed)``; draws consume bytes
+  front-to-back.
+* ``random()``: 7 stream bytes, big-endian, ``>> 3``, divided by 2**53.
+  Multiplying the integer by ``2.0**-53`` is exact in float64 (the
+  mantissa fits), so the ``< alpha`` comparisons below agree with
+  CPython's float division to the last ulp.
+* ``randrange(w)`` / ``choice``: rejection sampling over
+  ``getrandbits(w.bit_length())``, each attempt consuming
+  ``ceil(bits/8)`` bytes and keeping the top ``bits`` of them.
+
+Every lane of a batch consumes draws in lockstep (draw ``t`` of every
+lane sits at the same byte offset), so a labelled stream needs no
+per-lane cursor — rejection loops simply shrink the active lane set.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .np_compat import np, require_numpy
+from .sha import rows_with_suffix, sha256_batch
+
+_RNG_PREFIX = b"rng:"
+
+
+def fork_rows(seeds, label: bytes) -> "np.ndarray":
+    """``Rng.fork(label)`` for every row of an (N, 32) seed matrix."""
+    return sha256_batch(rows_with_suffix(seeds, b"/" + label))
+
+
+def prg_seeds(seeds) -> "np.ndarray":
+    """Per-lane ``Prg`` seeds: ``sha256(b"rng:" + seed)``."""
+    require_numpy()
+    prefix = np.frombuffer(_RNG_PREFIX, dtype=np.uint8)
+    seeds = np.ascontiguousarray(seeds, dtype=np.uint8)
+    msgs = np.empty(
+        (seeds.shape[0], len(prefix) + seeds.shape[1]), dtype=np.uint8
+    )
+    msgs[:, : len(prefix)] = prefix
+    msgs[:, len(prefix):] = seeds
+    return sha256_batch(msgs)
+
+
+class PrgMatrix:
+    """Lazily-extended counter-mode byte streams for N lanes.
+
+    Holds one growing ``(N, 32*blocks)`` byte matrix; ``ensure(nbytes)``
+    appends whole blocks until every lane has at least ``nbytes`` of
+    stream available.  Lanes are never extended individually — callers
+    shrink the lane set instead (see the rejection loops below).
+    """
+
+    def __init__(self, rng_seeds):
+        require_numpy()
+        self._prg_seeds = prg_seeds(rng_seeds)
+        self._blocks: List["np.ndarray"] = []
+
+    @property
+    def n_lanes(self) -> int:
+        return self._prg_seeds.shape[0]
+
+    def subset(self, selector) -> "PrgMatrix":
+        """A view of this stream restricted to the selected lanes.
+
+        Carries the already-generated blocks over, so shrinking the lane
+        set inside a rejection/first-success loop never re-hashes earlier
+        counters for the surviving lanes.
+        """
+        clone = object.__new__(PrgMatrix)
+        clone._prg_seeds = self._prg_seeds[selector]
+        clone._blocks = [block[selector] for block in self._blocks]
+        return clone
+
+    def ensure(self, nbytes: int) -> None:
+        while len(self._blocks) * 32 < nbytes:
+            counter = len(self._blocks).to_bytes(8, "big")
+            self._blocks.append(
+                sha256_batch(rows_with_suffix(self._prg_seeds, counter))
+            )
+
+    def take(self, offset: int, nbytes: int) -> "np.ndarray":
+        """Bytes ``[offset, offset + nbytes)`` of every lane's stream."""
+        self.ensure(offset + nbytes)
+        stream = np.concatenate(self._blocks, axis=1)
+        return stream[:, offset: offset + nbytes]
+
+
+def _bytes_to_uint64(chunk) -> "np.ndarray":
+    """Big-endian bytes (N, b<=8) -> uint64 per lane."""
+    out = np.zeros(chunk.shape[0], dtype=np.uint64)
+    for col in range(chunk.shape[1]):
+        out = (out << np.uint64(8)) | chunk[:, col].astype(np.uint64)
+    return out
+
+
+def random_draw(prg: PrgMatrix, draw_index: int) -> "np.ndarray":
+    """Draw ``draw_index`` of ``Rng.random()`` for every lane (float64).
+
+    ``random()`` is ``getrandbits(53)/2**53``; 53 bits read 7 bytes and
+    shift right by 3.  Consecutive ``random()`` calls therefore sit at
+    7-byte strides.
+    """
+    raw = _bytes_to_uint64(prg.take(7 * draw_index, 7))
+    return (raw >> np.uint64(3)).astype(np.float64) * (2.0 ** -53)
+
+
+def randrange_rows(rng_seeds, width: int) -> "np.ndarray":
+    """One ``Rng.randrange(width)`` draw per lane, as int64.
+
+    Mirrors the reference rejection loop exactly: attempt ``t`` reads
+    ``ceil(k/8)`` bytes at offset ``t*ceil(k/8)`` (``k`` = bit length of
+    ``width``), keeps the top ``k`` bits, and accepts when the value is
+    below ``width``.  Lanes that accept drop out of the loop; the stream
+    matrix only grows when some lane is still rejecting.
+    """
+    require_numpy()
+    if width <= 0:
+        raise ValueError("width must be positive")
+    bits = width.bit_length()
+    nbytes = (bits + 7) // 8
+    shift = np.uint64(nbytes * 8 - bits)
+
+    n = rng_seeds.shape[0]
+    values = np.empty(n, dtype=np.int64)
+    lanes = np.arange(n)
+    prg = PrgMatrix(rng_seeds)
+    attempt = 0
+    while lanes.size:
+        chunk = prg.take(attempt * nbytes, nbytes)[lanes]
+        drawn = (_bytes_to_uint64(chunk) >> shift).astype(np.int64)
+        accepted = drawn < width
+        values[lanes[accepted]] = drawn[accepted]
+        lanes = lanes[~accepted]
+        attempt += 1
+    return values
