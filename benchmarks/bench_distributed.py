@@ -1,0 +1,165 @@
+"""Distributed venue — serial vs. localhost worker fleet.
+
+Runs the same strategy sweep three ways:
+
+1. **serial** — the in-process reference loop.
+2. **distributed-2** — a coordinator fanning chunks out to two
+   ``repro worker`` subprocesses over localhost TCP.
+3. **distributed-faulty** — the same fleet, but with deterministic
+   ``kind="exit"`` fault injection killing workers mid-batch, so the
+   measured number includes death detection, chunk reassignment, and
+   local drain.
+
+Bit-identity across all three is asserted unconditionally — that is the
+venue's core contract and must hold whatever the host looks like.  No
+speedup is asserted: on a localhost fleet the chunk payloads are small
+relative to framing/scheduling overhead, so the interesting numbers are
+the *overhead ratio* (distributed vs serial wall clock) and the recovery
+cost (faulty vs clean fleet), both recorded in
+``BENCH_distributed.json`` at the repo root.
+
+Runnable standalone (``python benchmarks/bench_distributed.py``) or
+under pytest.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.adversaries import strategy_space_for_protocol
+from repro.analysis import sweep_strategies
+from repro.core import STANDARD_GAMMA
+from repro.functions import make_swap
+from repro.protocols import Opt2SfeProtocol
+from repro.runtime import (
+    NO_FAULTS,
+    DistributedRunner,
+    FaultSpec,
+    RetryPolicy,
+    SerialRunner,
+)
+
+N_RUNS = 200
+CHUNK = 25
+SEED = ("bench-distributed", 1)
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_distributed.json"
+
+
+@contextmanager
+def _fleet(n):
+    env = os.environ.copy()
+    src = Path(__file__).resolve().parent.parent / "src"
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    procs, addrs = [], []
+    try:
+        for _ in range(n):
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "worker",
+                 "--listen", "127.0.0.1:0", "--once"],
+                stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+                env=env, text=True,
+            )
+            procs.append(proc)
+            info = json.loads(proc.stdout.readline())
+            addrs.append((info["host"], info["port"]))
+        yield addrs
+    finally:
+        for proc in procs:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+def _workload():
+    protocol = Opt2SfeProtocol(make_swap(8))
+    return protocol, strategy_space_for_protocol(protocol)[:4]
+
+
+def _measure(runner_factory, fleet_size=0):
+    protocol, space = _workload()
+    if fleet_size:
+        with _fleet(fleet_size) as addrs:
+            t0 = time.perf_counter()
+            result = sweep_strategies(
+                protocol, space, STANDARD_GAMMA, n_runs=N_RUNS, seed=SEED,
+                runner=runner_factory(addrs),
+            )
+            dt = time.perf_counter() - t0
+    else:
+        t0 = time.perf_counter()
+        result = sweep_strategies(
+            protocol, space, STANDARD_GAMMA, n_runs=N_RUNS, seed=SEED,
+            runner=runner_factory(None),
+        )
+        dt = time.perf_counter() - t0
+    return result, dt
+
+
+def run_benchmark():
+    serial, t_serial = _measure(lambda _: SerialRunner(chunk_size=CHUNK))
+
+    clean_runner = {}
+
+    def make_clean(addrs):
+        clean_runner["r"] = DistributedRunner(
+            addrs, chunk_size=CHUNK, fault=NO_FAULTS,
+            retry=RetryPolicy(max_retries=2, backoff_s=0.01),
+        )
+        return clean_runner["r"]
+
+    distributed, t_dist = _measure(make_clean, fleet_size=2)
+    assert distributed == serial, "distributed sweep diverged from serial"
+    stats = clean_runner["r"].stats_history
+    assert any(s.backend == "distributed" for s in stats)
+
+    faulty_runner = {}
+
+    def make_faulty(addrs):
+        faulty_runner["r"] = DistributedRunner(
+            addrs, chunk_size=CHUNK,
+            retry=RetryPolicy(max_retries=3, backoff_s=0.01),
+            fault=FaultSpec(
+                rate=0.4, kind="exit", seed="bench-kill", max_consecutive=1
+            ),
+        )
+        return faulty_runner["r"]
+
+    faulty, t_faulty = _measure(make_faulty, fleet_size=2)
+    assert faulty == serial, "faulty-fleet sweep diverged from serial"
+    fstats = faulty_runner["r"].stats_history
+    deaths = sum(s.worker_deaths for s in fstats)
+
+    report = {
+        "n_runs": N_RUNS,
+        "strategies": 4,
+        "chunk_size": CHUNK,
+        "cpus": os.cpu_count(),
+        "serial_s": round(t_serial, 4),
+        "distributed_2worker_s": round(t_dist, 4),
+        "distributed_faulty_s": round(t_faulty, 4),
+        "overhead_ratio": round(t_dist / t_serial, 3) if t_serial else None,
+        "recovery_ratio": round(t_faulty / t_dist, 3) if t_dist else None,
+        "worker_deaths_observed": deaths,
+        "bit_identical": True,
+    }
+    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    return report
+
+
+def test_distributed_benchmark():
+    report = run_benchmark()
+    assert report["bit_identical"]
+
+
+if __name__ == "__main__":
+    run_benchmark()

@@ -120,6 +120,7 @@ def chunk_stats_to_dict(chunk: ChunkStats) -> dict:
         "classify_s": chunk.classify_s,
         "cache": chunk.cache,
         "engine": chunk.engine,
+        "worker": chunk.worker,
     }
 
 
@@ -139,6 +140,7 @@ def run_stats_to_dict(stats: RunStats) -> dict:
         "timeouts": stats.timeouts,
         "serial_replays": stats.serial_replays,
         "cancelled_chunks": stats.cancelled_chunks,
+        "worker_deaths": stats.worker_deaths,
         "degraded": stats.degraded,
         "setup_s": stats.setup_s,
         "execute_s": stats.execute_s,

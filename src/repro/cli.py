@@ -12,11 +12,17 @@ Commands
 ``profile``        cProfile a small batch and print the top hotspots
 ``verify``         check the registered paper claims (E1–E20) and exit
                    0 (all ok) / 1 (violated) / 2 (bad claim spec)
+``worker``         serve chunk executions to a distributed coordinator
+                   (``repro worker --listen HOST:PORT``)
 
 All measurements are Monte-Carlo; ``--runs`` and ``--seed`` control the
 budget and reproducibility, and ``--jobs`` (or the ``REPRO_JOBS``
 environment variable) fans batches out over worker processes without
-changing any result.  ``--max-retries`` and ``--chunk-timeout`` tune the
+changing any result.  ``--workers host:port,…`` (or ``REPRO_WORKERS``)
+goes one step further and ships chunks to ``repro worker`` processes on
+other hosts — still bit-identical, still recoverable (dead or wedged
+workers have their chunks reassigned; with every worker lost the batch
+finishes in-process).  ``--max-retries`` and ``--chunk-timeout`` tune the
 runtime's failure semantics (failed or stalled chunks are re-executed,
 bit-identically, before degrading to in-process replay), and ``--stats``
 appends a JSON dump of every batch's ``RunStats`` — including retry and
@@ -161,6 +167,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for Monte-Carlo batches "
         "(default: $REPRO_JOBS or 1; 0 = all CPUs)",
+    )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        metavar="HOST:PORT,…",
+        help="distributed worker addresses (default: $REPRO_WORKERS or "
+        "none); when set, chunks are shipped to 'repro worker' processes "
+        "instead of a local pool — results stay bit-identical",
     )
     parser.add_argument(
         "--max-retries",
@@ -317,6 +331,29 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto", "reference", "vectorized"),
         default=argparse.SUPPRESS,
         help=argparse.SUPPRESS,
+    )
+    verify.add_argument(
+        "--workers",
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve Monte-Carlo chunk executions to a distributed "
+        "coordinator (see --workers)",
+    )
+    worker.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="address to listen on (default 127.0.0.1:0 — port 0 lets "
+        "the OS pick; the chosen port is announced on stdout as JSON)",
+    )
+    worker.add_argument(
+        "--once",
+        action="store_true",
+        help="exit after serving one coordinator session (test/CI mode)",
     )
 
     return parser
@@ -597,6 +634,27 @@ def cmd_verify(args, registry):
     return "\n".join(lines), report.exit_code
 
 
+def cmd_worker(args, registry) -> str:
+    """Run a distributed worker server until interrupted (or, with
+    ``--once``, until its first coordinator disconnects)."""
+    from .runtime.distributed import serve
+
+    host, sep, port = args.listen.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(
+            f"--listen must be HOST:PORT, got {args.listen!r}"
+        )
+    try:
+        port = int(port)
+    except ValueError:
+        raise SystemExit(f"--listen port must be an integer, got {port!r}")
+    try:
+        serve(host, port, once=args.once)
+    except KeyboardInterrupt:
+        pass
+    return ""
+
+
 COMMANDS = {
     "zoo": cmd_zoo,
     "compare": cmd_compare,
@@ -607,6 +665,7 @@ COMMANDS = {
     "fault-sensitivity": cmd_fault_sensitivity,
     "profile": cmd_profile,
     "verify": cmd_verify,
+    "worker": cmd_worker,
 }
 
 
@@ -622,6 +681,7 @@ def _build_runner(args):
         retry=retry,
         cache=resolve_cache(args.cache),
         backend=args.backend,
+        workers=args.workers,
     )
 
 

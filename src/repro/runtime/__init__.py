@@ -4,10 +4,12 @@ failure semantics.
 The analysis layer expresses every measurement as a list of tasks and
 hands them to a :class:`BatchRunner`; :class:`SerialRunner` replays the
 historical in-process loop, :class:`ProcessPoolRunner` fans chunks out
-over worker processes.  Both produce bit-identical results for the same
-seed — and both recover from failed chunk attempts through the retry
-ladder in ``runtime.retry`` (bounded retries, then trusted serial
-replay), so a crashed worker can never bias a measured event frequency.
+over forked worker processes, and :class:`DistributedRunner` ships them
+to TCP workers on other hosts (``runtime.distributed``).  All three
+produce bit-identical results for the same seed — and all recover from
+failed chunk attempts through the retry ladder in ``runtime.retry``
+(bounded retries, then trusted serial replay), so a crashed worker can
+never bias a measured event frequency.
 Orthogonally to the venue, each chunk is computed by an *execution
 backend*: the reference state machine, or — for eligible tasks — a
 NumPy kernel from ``runtime.vectorized`` that reproduces the reference
@@ -47,6 +49,8 @@ from .runner import (
     resolve_jobs,
     resolve_runner,
 )
+# (after .runner: the coordinator builds on BatchRunner/SerialRunner)
+from .distributed import ENV_WORKERS, DistributedRunner, parse_workers
 from .stats import ChunkStats, MeasuredCounts, RunStats
 from .tasks import (
     ExecutionTask,
@@ -67,6 +71,9 @@ __all__ = [
     "BatchRunner",
     "SerialRunner",
     "ProcessPoolRunner",
+    "DistributedRunner",
+    "parse_workers",
+    "ENV_WORKERS",
     "ExecutionTask",
     "RunStats",
     "ChunkStats",

@@ -1,0 +1,397 @@
+"""Task-spec codec: describing an :class:`ExecutionTask` without code.
+
+A distributed worker cannot inherit live task objects the way a forked
+pool worker does, and the wire protocol deliberately refuses pickled
+closures.  Instead the coordinator ships a *task spec* — plain JSON
+naming the protocol (class + function-spec name + parameters), the
+strategy, the input sampler, and the (tagged) master seed — and the
+worker rebuilds the task locally from registries it already trusts.
+
+Every spec embeds the task's **content fingerprint**: the digest of the
+same ``cache_material()`` the persistent chunk cache keys on.  After
+rebuilding, the worker recomputes the fingerprint and refuses the task
+on any mismatch, so a registry drift between hosts degrades to "this
+worker sits the task out" rather than a silently different measurement.
+The fingerprint inherits the cache layer's identity contract: protocol
+``cache_key``s and strategy names are canonical descriptions of
+behaviour.
+
+Tasks that cannot name their content — anonymous factories, unregistered
+protocol classes, custom samplers without a ``cache_token``, active
+engine faults — simply encode to ``None`` and are executed in-process by
+the coordinator, bit-identically as always.
+
+The registries are extensible: :func:`register_function`,
+:func:`register_protocol`, and :func:`register_strategy` let new
+workloads opt their components into distribution (register the same
+names on every host).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Callable, Dict, Optional
+
+from ...crypto.prf import encode_seed
+from ..tasks import ExecutionTask
+
+#: Bumped whenever spec layout or fingerprint derivation changes.
+CODEC_VERSION = 1
+
+
+class CodecError(RuntimeError):
+    """A task spec this host cannot (or refuses to) rebuild."""
+
+
+# -- tagged seed values ------------------------------------------------------
+# Seeds are arbitrary compositions of the types ``encode_seed`` supports;
+# this tagging makes exactly that set JSON-round-trippable (and nothing
+# more — objects that ``encode_seed`` would repr-fallback are rejected,
+# because their repr is not a stable cross-host identity).
+
+
+def tag_value(value):
+    """Tagged-JSON form of one seed component (raises CodecError)."""
+    if isinstance(value, bool):
+        return {"t": "bool", "v": value}
+    if isinstance(value, int):
+        return {"t": "int", "v": str(value)}
+    if isinstance(value, str):
+        return {"t": "str", "v": value}
+    if isinstance(value, (bytes, bytearray)):
+        return {"t": "bytes", "v": bytes(value).hex()}
+    if isinstance(value, float):
+        return {"t": "float", "v": value.hex()}
+    if value is None:
+        return {"t": "none"}
+    if isinstance(value, (tuple, list)):
+        return {
+            "t": "tuple" if isinstance(value, tuple) else "list",
+            "v": [tag_value(item) for item in value],
+        }
+    raise CodecError(f"seed component {value!r} has no canonical wire form")
+
+
+def untag_value(payload):
+    """Inverse of :func:`tag_value` (raises CodecError)."""
+    if not isinstance(payload, dict) or "t" not in payload:
+        raise CodecError("malformed tagged value")
+    tag = payload["t"]
+    if tag == "bool":
+        return bool(payload["v"])
+    if tag == "int":
+        return int(payload["v"])
+    if tag == "str":
+        return str(payload["v"])
+    if tag == "bytes":
+        return bytes.fromhex(payload["v"])
+    if tag == "float":
+        return float.fromhex(payload["v"])
+    if tag == "none":
+        return None
+    if tag in ("tuple", "list"):
+        items = [untag_value(item) for item in payload["v"]]
+        return tuple(items) if tag == "tuple" else items
+    raise CodecError(f"unknown value tag {tag!r}")
+
+
+# -- function specs ----------------------------------------------------------
+# The library names its FunctionSpecs canonically (swap16, and,
+# concat5x8, contract16, ...); the builders below rebuild exactly the
+# constructions those names denote.
+
+_FUNCTION_BUILDERS: Dict[str, Callable[[], object]] = {}
+
+
+def register_function(name: str, builder: Callable[[], object]) -> None:
+    """Register a zero-arg builder for a named FunctionSpec."""
+    _FUNCTION_BUILDERS[name] = builder
+
+
+def build_function(name: str):
+    """Rebuild the FunctionSpec a canonical library name denotes."""
+    from ...functions import (
+        make_and,
+        make_concat,
+        make_contract_exchange,
+        make_swap,
+        make_xor,
+    )
+
+    if name in _FUNCTION_BUILDERS:
+        return _FUNCTION_BUILDERS[name]()
+    if name == "and":
+        return make_and()
+    if name == "xor":
+        return make_xor()
+    match = re.fullmatch(r"swap(\d+)", name)
+    if match:
+        return make_swap(int(match.group(1)))
+    match = re.fullmatch(r"contract(\d+)", name)
+    if match:
+        return make_contract_exchange(int(match.group(1)))
+    match = re.fullmatch(r"concat(\d+)x(\d+)", name)
+    if match:
+        return make_concat(int(match.group(1)), int(match.group(2)))
+    raise CodecError(f"no registered builder for function spec {name!r}")
+
+
+# -- protocols ---------------------------------------------------------------
+
+#: Protocol classes rebuildable from ``(class name, func name[, params])``.
+_SIMPLE_PROTOCOLS = (
+    "NaiveContractSigning",
+    "CoinOrderedContractSigning",
+    "IdealCoinContractSigning",
+    "Opt2SfeProtocol",
+    "SingleRoundProtocol",
+    "GradualReleaseProtocol",
+    "DummyProtocol",
+    "OptNSfeProtocol",
+    "UnbalancedOptProtocol",
+    "ThresholdGmwProtocol",
+)
+
+_PROTOCOL_BUILDERS: Dict[str, Callable[[dict], object]] = {}
+
+
+def register_protocol(name: str, builder: Callable[[dict], object]) -> None:
+    """Register a custom protocol builder (``params`` dict → protocol)."""
+    _PROTOCOL_BUILDERS[name] = builder
+
+
+def _protocol_class(name: str):
+    from ...gmw import ThresholdGmwProtocol
+    from ... import protocols as P
+
+    if name == "ThresholdGmwProtocol":
+        return ThresholdGmwProtocol
+    return getattr(P, name, None)
+
+
+def encode_protocol(protocol) -> Optional[dict]:
+    """Spec for a protocol instance, or ``None`` when it has no codec."""
+    cls = type(protocol).__name__
+    func_name = getattr(getattr(protocol, "func", None), "name", None)
+    if func_name is None:
+        return None
+    spec = {"cls": cls, "func": func_name}
+    if cls == "GordonKatzProtocol":
+        spec["p"] = protocol.p
+        spec["variant"] = protocol.variant
+    elif cls not in _SIMPLE_PROTOCOLS and cls not in _PROTOCOL_BUILDERS:
+        return None
+    try:
+        spec["cache_key"] = tag_value(tuple(protocol.cache_key))
+    except (CodecError, TypeError):
+        return None
+    return spec
+
+
+def decode_protocol(spec: dict):
+    """Rebuild a protocol from its spec, cross-checking ``cache_key``."""
+    cls_name = spec.get("cls")
+    if cls_name in _PROTOCOL_BUILDERS:
+        protocol = _PROTOCOL_BUILDERS[cls_name](spec)
+    else:
+        cls = _protocol_class(cls_name)
+        if cls is None or (
+            cls_name not in _SIMPLE_PROTOCOLS
+            and cls_name != "GordonKatzProtocol"
+        ):
+            raise CodecError(f"no registered protocol codec for {cls_name!r}")
+        func = build_function(spec["func"])
+        if cls_name == "GordonKatzProtocol":
+            protocol = cls(func, p=int(spec["p"]), variant=spec["variant"])
+        else:
+            protocol = cls(func)
+    expected = untag_value(spec["cache_key"])
+    if tuple(protocol.cache_key) != expected:
+        raise CodecError(
+            f"rebuilt protocol identity {tuple(protocol.cache_key)!r} does "
+            f"not match shipped {expected!r}"
+        )
+    return protocol
+
+
+# -- strategies --------------------------------------------------------------
+# Strategy identity is the factory *name* — exactly the contract the
+# chunk cache already keys on.  The resolvers below rebuild every naming
+# convention the codebase uses; explicit registrations win.
+
+_STRATEGY_BUILDERS: Dict[str, Callable[[], object]] = {}
+
+
+def register_strategy(name: str, build: Callable[[], object]) -> None:
+    """Register a zero-arg adversary constructor under a factory name."""
+    _STRATEGY_BUILDERS[name] = build
+
+
+def _parse_party_set(text: str) -> frozenset:
+    """Corruption set from a bracket label: ``"01"`` or ``"0, 1"``."""
+    text = text.strip()
+    if "," in text:
+        return frozenset(int(part) for part in text.split(","))
+    if not text.isdigit():
+        raise CodecError(f"unparseable corruption label {text!r}")
+    return frozenset(int(ch) for ch in text)
+
+
+def resolve_strategy(name: str):
+    """Rebuild the :class:`AdversaryFactory` a name denotes.
+
+    Covers the standard sweep (``passive[01]``, ``lock-watch[01]``,
+    ``abort@r3[01]``, ``func-abort[coin,ask][01]``), the claim-registry
+    spellings (``lock-watch[0, 1]``, ``lock-watch-t2``, ``lw2``), and any
+    name explicitly registered via :func:`register_strategy`.
+    """
+    from ...adversaries import (
+        AbortAtRound,
+        FunctionalityAborter,
+        KnownOutputStopper,
+        LockWatchingAborter,
+        PassiveAdversary,
+        SignalDeviator,
+        fixed,
+    )
+
+    if name in _STRATEGY_BUILDERS:
+        return fixed(name, _STRATEGY_BUILDERS[name])
+    match = re.fullmatch(r"passive\[([^\]]*)\]", name)
+    if match:
+        parties = _parse_party_set(match.group(1))
+        return fixed(name, lambda: PassiveAdversary(set(parties)))
+    match = re.fullmatch(r"lock-watch\[([^\]]*)\]", name)
+    if match:
+        parties = _parse_party_set(match.group(1))
+        return fixed(name, lambda: LockWatchingAborter(set(parties)))
+    match = re.fullmatch(r"abort@r(\d+)\[([^\]]*)\]", name)
+    if match:
+        rnd = int(match.group(1))
+        parties = _parse_party_set(match.group(2))
+        return fixed(name, lambda: AbortAtRound(set(parties), rnd))
+    match = re.fullmatch(r"func-abort\[([^,\]]+),(ask|noask)\]\[([^\]]*)\]", name)
+    if match:
+        fname = match.group(1)
+        ask = match.group(2) == "ask"
+        parties = _parse_party_set(match.group(3))
+        return fixed(
+            name,
+            lambda: FunctionalityAborter(set(parties), fname, ask_first=ask),
+        )
+    match = re.fullmatch(r"(?:lock-watch-t|lw)(\d+)", name)
+    if match:
+        t = int(match.group(1))
+        return fixed(name, lambda: LockWatchingAborter(set(range(t))))
+    if name == "lw-t2":
+        return fixed(name, lambda: LockWatchingAborter({0, 1}))
+    if name == "sd1":
+        return fixed(name, lambda: SignalDeviator({0}))
+    if name == "known-output":
+        return fixed(name, lambda: KnownOutputStopper(0, known_output=1))
+    raise CodecError(f"no registered strategy codec for {name!r}")
+
+
+# -- input samplers ----------------------------------------------------------
+
+
+def decode_sampler(token: str):
+    """Rebuild an input sampler from its ``cache_token`` (or ``None``)."""
+    if not token:
+        return None
+    if token.startswith("const:"):
+        from ...verify.claims import constant_inputs
+
+        try:
+            inputs = ast.literal_eval(token[len("const:"):])
+        except (ValueError, SyntaxError):
+            raise CodecError(f"unparseable sampler token {token!r}") from None
+        return constant_inputs(tuple(inputs))
+    raise CodecError(f"no registered sampler codec for {token!r}")
+
+
+# -- whole-task specs --------------------------------------------------------
+
+
+def task_fingerprint(task) -> Optional[str]:
+    """Content digest of a task (the chunk cache's identity, versioned)."""
+    material = getattr(task, "cache_material", None)
+    if material is None:
+        return None
+    material = material()
+    if material is None:
+        return None
+    return encode_seed(("task-spec", CODEC_VERSION, material)).hex()
+
+
+def encode_task(task) -> Optional[dict]:
+    """Wire spec for a task, or ``None`` when it must stay local.
+
+    A task is shippable when its content fingerprint exists (the cache
+    contract), its protocol and sampler have registered codecs, its seed
+    is canonical, and it runs no engine faults (fault bundles carry
+    seeded closures the wire cannot describe yet).
+    """
+    if not isinstance(task, ExecutionTask):
+        return None
+    if task.faults is not None and task.faults.active:
+        return None
+    fingerprint = task_fingerprint(task)
+    if fingerprint is None:
+        return None
+    protocol_spec = encode_protocol(task.protocol)
+    if protocol_spec is None:
+        return None
+    strategy_name = getattr(task.factory, "name", None)
+    if strategy_name is None:
+        return None
+    if task.input_sampler is None:
+        sampler_token = ""
+    else:
+        sampler_token = getattr(task.input_sampler, "cache_token", None)
+        if sampler_token is None:
+            return None
+    try:
+        seed = tag_value(task.seed)
+        # Encode-side dry run: never ship a spec this very codebase
+        # could not rebuild (registry gaps surface here, not remotely).
+        resolve_strategy(strategy_name)
+        decode_sampler(sampler_token)
+    except CodecError:
+        return None
+    return {
+        "kind": "execution-task",
+        "version": CODEC_VERSION,
+        "fingerprint": fingerprint,
+        "protocol": protocol_spec,
+        "strategy": strategy_name,
+        "sampler": sampler_token,
+        "n_runs": task.n_runs,
+        "seed": seed,
+    }
+
+
+def decode_task(spec: dict) -> ExecutionTask:
+    """Rebuild a task from its wire spec, verifying the fingerprint."""
+    if not isinstance(spec, dict) or spec.get("kind") != "execution-task":
+        raise CodecError("not an execution-task spec")
+    if spec.get("version") != CODEC_VERSION:
+        raise CodecError(
+            f"task-spec version {spec.get('version')!r} != {CODEC_VERSION}"
+        )
+    task = ExecutionTask(
+        protocol=decode_protocol(spec["protocol"]),
+        factory=resolve_strategy(spec["strategy"]),
+        n_runs=int(spec["n_runs"]),
+        seed=untag_value(spec["seed"]),
+        input_sampler=decode_sampler(spec["sampler"]),
+        faults=None,
+    )
+    rebuilt = task_fingerprint(task)
+    if rebuilt != spec["fingerprint"]:
+        raise CodecError(
+            f"rebuilt task fingerprint {rebuilt} does not match shipped "
+            f"{spec['fingerprint']} (registry drift between hosts?)"
+        )
+    return task

@@ -1,0 +1,307 @@
+"""Distributed worker: serves chunk executions to one coordinator at a time.
+
+A worker is a passive TCP server.  The coordinator connects, introduces
+the batch (protocol version, execution backend, fault spec, and the
+task-spec list — see :mod:`.codec`), and the worker then *pulls* work:
+it announces ``ready``, receives one ``(task, start, stop, attempt)``
+chunk descriptor, executes it through the exact same
+:func:`~repro.runtime.retry.run_task_chunk` entry point a forked pool
+worker uses (fault injection first, then cache, then the selected
+engine), ships back ``(partial, instrumentation delta)``, and announces
+``ready`` again.  Pull scheduling is what makes the fleet self-balance:
+a fast worker simply asks more often.
+
+Liveness is a background heartbeat thread sharing the connection under a
+send lock, so a long chunk never makes a healthy worker look dead.  A
+``kind="exit"`` injected fault kills the whole process (heartbeats
+included — the coordinator sees EOF); a ``kind="sleep"`` fault stalls
+only the chunk, so heartbeats keep flowing and the coordinator's
+*chunk deadline*, not its death detector, is what fires — exactly the
+wedged-vs-dead distinction the reassignment logic wants to exercise.
+
+Local environment knobs are honoured: ``REPRO_BACKEND`` overrides the
+coordinator's suggested engine, ``REPRO_CACHE_DIR`` gives the worker its
+own persistent chunk cache, and ``REPRO_FAULT_*`` applies when the
+coordinator ships no fault spec of its own.  Execution stays
+deterministic regardless: a chunk's partial is a pure function of
+``(task, seed, span)`` whatever host computes it.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import threading
+from typing import Dict, Optional
+
+from ..cache import ChunkCache, instrumentation_delta, instrumentation_snapshot
+from ..retry import FaultSpec, run_task_chunk
+from ..vectorized import resolve_backend
+from .codec import CodecError, decode_task, tag_value, untag_value
+from .wire import (
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    WireError,
+    encode_partial,
+    recv_frame,
+    send_frame,
+)
+
+#: Seconds between worker heartbeats when the coordinator names none.
+DEFAULT_HEARTBEAT_S = 1.0
+
+
+def fault_spec_to_dict(fault: Optional[FaultSpec]) -> Optional[dict]:
+    """Wire form of a fault spec (tagged seed keeps int/str distinct)."""
+    if fault is None:
+        return None
+    return {
+        "rate": fault.rate,
+        "kind": fault.kind,
+        "seed": tag_value(fault.seed),
+        "sleep_s": fault.sleep_s,
+        "max_consecutive": fault.max_consecutive,
+    }
+
+
+def fault_spec_from_dict(payload: Optional[dict]) -> Optional[FaultSpec]:
+    if payload is None:
+        return None
+    return FaultSpec(
+        rate=float(payload["rate"]),
+        kind=payload["kind"],
+        seed=untag_value(payload["seed"]),
+        sleep_s=float(payload["sleep_s"]),
+        max_consecutive=int(payload["max_consecutive"]),
+    )
+
+
+class _Heartbeat(threading.Thread):
+    """Sends ``heartbeat`` frames under the shared send lock until stopped."""
+
+    def __init__(self, conn: socket.socket, lock: threading.Lock, every_s: float):
+        super().__init__(daemon=True)
+        self._conn = conn
+        self._lock = lock
+        self._every_s = max(0.05, every_s)
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop.wait(self._every_s):
+            try:
+                with self._lock:
+                    send_frame(self._conn, {"type": "heartbeat"})
+            except OSError:
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+class WorkerServer:
+    """One worker process: accept coordinators sequentially, serve chunks."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self.port = port
+        self._listener: Optional[socket.socket] = None
+        self.worker_id = f"{socket.gethostname()}:{os.getpid()}"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def bind(self) -> int:
+        """Bind the listening socket; returns the actual port (``port=0``
+        asks the OS for a free one — the announce line carries it)."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(4)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        return self.port
+
+    def announce(self, out=None) -> None:
+        """Print the machine-readable ``listening`` line (port discovery
+        for tests/CI that bind port 0)."""
+        import json
+
+        out = out if out is not None else sys.stdout
+        print(
+            json.dumps(
+                {
+                    "event": "listening",
+                    "host": self.host,
+                    "port": self.port,
+                    "worker_id": self.worker_id,
+                }
+            ),
+            file=out,
+            flush=True,
+        )
+
+    def serve_forever(self, once: bool = False) -> None:
+        """Accept coordinator sessions until interrupted (or one, with
+        ``once`` — the test/CI mode that exits when its coordinator
+        disconnects)."""
+        assert self._listener is not None, "bind() first"
+        try:
+            while True:
+                conn, _addr = self._listener.accept()
+                try:
+                    self.serve_coordinator(conn)
+                finally:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                if once:
+                    return
+        finally:
+            self._listener.close()
+
+    # -- one coordinator session ---------------------------------------------
+
+    def serve_coordinator(self, conn: socket.socket) -> None:
+        """Run one hello → pull-loop session over an accepted connection."""
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            hello = recv_frame(conn)
+        except WireError:
+            return
+        if hello.get("type") != "hello" or hello.get("version") != PROTOCOL_VERSION:
+            try:
+                send_frame(
+                    conn,
+                    {
+                        "type": "error",
+                        "error": (
+                            f"expected hello v{PROTOCOL_VERSION}, got "
+                            f"{hello.get('type')!r} v{hello.get('version')!r}"
+                        ),
+                    },
+                )
+            except OSError:
+                pass
+            return
+
+        # Local env wins over the coordinator's suggestion for the engine;
+        # fault spec: the coordinator's (cluster-consistent pattern) wins
+        # over this host's env.
+        if os.environ.get("REPRO_BACKEND", "").strip():
+            backend = resolve_backend(None)
+        else:
+            backend = resolve_backend(hello.get("backend"))
+        try:
+            fault = fault_spec_from_dict(hello.get("fault"))
+        except (CodecError, KeyError, ValueError):
+            fault = None
+        if fault is None:
+            fault = FaultSpec.from_env()
+        if fault is not None and not fault.active:
+            fault = None
+        cache = ChunkCache.from_env()
+
+        tasks: Dict[int, object] = {}
+        tasks_ok = []
+        for index, spec in enumerate(hello.get("tasks", [])):
+            if spec is None:
+                tasks_ok.append(False)
+                continue
+            try:
+                tasks[index] = decode_task(spec)
+                tasks_ok.append(True)
+            except (CodecError, KeyError, TypeError, ValueError):
+                # Registry drift or a fingerprint mismatch: sit this task
+                # out rather than compute something subtly different.
+                tasks_ok.append(False)
+
+        heartbeat_s = float(hello.get("heartbeat_s", DEFAULT_HEARTBEAT_S))
+        send_lock = threading.Lock()
+        with send_lock:
+            send_frame(
+                conn,
+                {
+                    "type": "hello-ack",
+                    "version": PROTOCOL_VERSION,
+                    "worker_id": self.worker_id,
+                    "tasks_ok": tasks_ok,
+                },
+            )
+        heartbeat = _Heartbeat(conn, send_lock, heartbeat_s / 2.0)
+        heartbeat.start()
+        try:
+            self._pull_loop(conn, send_lock, tasks, fault, cache, backend)
+        except (WireError, OSError):
+            # Coordinator went away mid-session; nothing to salvage.
+            return
+        finally:
+            heartbeat.stop()
+
+    def _pull_loop(self, conn, send_lock, tasks, fault, cache, backend) -> None:
+        while True:
+            with send_lock:
+                send_frame(conn, {"type": "ready"})
+            # Block until the coordinator has work (it may hold the ready
+            # while chunks are in flight elsewhere) or shuts us down.
+            msg = recv_frame(conn)
+            kind = msg.get("type")
+            if kind == "shutdown":
+                return
+            if kind != "chunk":
+                raise WireError(f"unexpected frame {kind!r} in pull loop")
+            reply = self._execute(msg, tasks, fault, cache, backend)
+            with send_lock:
+                send_frame(conn, reply)
+
+    def _execute(self, msg, tasks, fault, cache, backend) -> dict:
+        ti = int(msg["task"])
+        start, stop = int(msg["start"]), int(msg["stop"])
+        attempt = int(msg.get("attempt", 0))
+        reply = {
+            "type": "result",
+            "task": ti,
+            "start": start,
+            "stop": stop,
+            "gen": msg.get("gen", 0),
+            "worker_id": self.worker_id,
+        }
+        task = tasks.get(ti)
+        if task is None:
+            reply.update(ok=False, error="task not decodable on this worker",
+                         error_kind="CodecError")
+            return reply
+        before = instrumentation_snapshot()
+        try:
+            part = run_task_chunk(
+                task, ti, start, stop, attempt, fault,
+                in_worker=True, cache=cache, backend=backend,
+            )
+            reply.update(
+                ok=True,
+                partial=encode_partial(part),
+                inst=instrumentation_delta(before),
+            )
+        except ConnectionClosed:
+            raise
+        except Exception as exc:  # InjectedFault, BackendError, task bugs
+            reply.update(
+                ok=False,
+                error=f"{type(exc).__name__}: {exc}",
+                error_kind=type(exc).__name__,
+            )
+        return reply
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    once: bool = False,
+    announce: bool = True,
+) -> None:
+    """Entry point behind ``repro worker --listen host:port``."""
+    server = WorkerServer(host, port)
+    server.bind()
+    if announce:
+        server.announce()
+    server.serve_forever(once=once)

@@ -101,7 +101,13 @@ class RetryPolicy:
             except ValueError:
                 raise ValueError(f"{ENV_CHUNK_TIMEOUT} must be a float, got {raw!r}")
             if timeout <= 0:
-                timeout = None
+                # Consistent with __post_init__: a non-positive deadline
+                # is a configuration error, not "wait forever" (unset
+                # the variable to disable the deadline).
+                raise ValueError(
+                    f"{ENV_CHUNK_TIMEOUT} must be positive, got {raw!r} "
+                    "(unset it to disable the chunk deadline)"
+                )
         return cls(max_retries=max(0, retries), chunk_timeout_s=timeout)
 
 
@@ -166,6 +172,15 @@ class FaultSpec:
             return None
         kind = os.environ.get(ENV_FAULT_KIND, "").strip() or "raise"
         seed: object = os.environ.get(ENV_FAULT_SEED, "").strip() or 0
+        if isinstance(seed, str):
+            # encode_seed is type-tagged, so the string "0" and the
+            # default int 0 would select *different* fault patterns;
+            # parse numeric env seeds so explicitly setting the default
+            # value is a no-op.
+            try:
+                seed = int(seed)
+            except ValueError:
+                pass
         return cls(rate=min(rate, 1.0), kind=kind, seed=seed)
 
 

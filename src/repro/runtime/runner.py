@@ -37,6 +37,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+from concurrent.futures import CancelledError as FuturesCancelled
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -59,6 +60,17 @@ SMALL_BATCH_THRESHOLD = 64
 #: wait itself is treated as a timeout (guards against a pool whose every
 #: worker is wedged on someone else's chunk).
 _QUEUE_WAIT_DEADLINES = 20
+
+#: Liveness backstop for pools run *without* a chunk deadline.  Executor
+#: churn (one pool per batch) can very rarely starve a fresh pool: the
+#: work-item handoff is lost inside the executor machinery, its workers
+#: sit forever in ``call_queue.get()`` and ``future.result()`` would
+#: block indefinitely.  If the awaited future has not even *started*
+#: after this many seconds without any chunk resolving batch-wide, the
+#: pool is declared wedged and respawned.  A chunk that is actually
+#: running is never interrupted by this path.
+_STARVATION_POLL_S = 15.0
+_STARVATION_GRACE_S = 120.0
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -93,13 +105,24 @@ def resolve_runner(
     fault: Optional[FaultSpec] = None,
     cache: Optional[ChunkCache] = None,
     backend: Optional[str] = None,
+    workers=None,
 ) -> "BatchRunner":
-    """Build the runner implied by ``jobs``/``REPRO_JOBS`` (serial if ≤ 1).
+    """Build the runner implied by ``workers``/``jobs`` (serial if ≤ 1).
 
-    ``retry``/``fault``/``cache``/``backend`` default to the
+    Venue precedence: ``workers`` (CLI ``--workers`` / ``REPRO_WORKERS``
+    — the distributed venue) > ``jobs``/``REPRO_JOBS`` (process pool) >
+    serial.  ``retry``/``fault``/``cache``/``backend`` default to the
     ``REPRO_MAX_RETRIES`` / ``REPRO_CHUNK_TIMEOUT`` / ``REPRO_FAULT_*`` /
     ``REPRO_CACHE_DIR`` / ``REPRO_BACKEND`` environment knobs.
     """
+    from .distributed import DistributedRunner, parse_workers
+
+    addrs = parse_workers(workers)
+    if addrs:
+        return DistributedRunner(
+            addrs, chunk_size=chunk_size, retry=retry, fault=fault,
+            cache=cache, backend=backend,
+        )
     n = resolve_jobs(jobs)
     if n <= 1:
         return SerialRunner(
@@ -200,6 +223,7 @@ class BatchRunner:
             timeouts=log.timeouts,
             serial_replays=log.serial_replays,
             cancelled_chunks=log.cancelled,
+            worker_deaths=log.worker_deaths,
             setup_s=log.setup_s,
             execute_s=log.execute_s,
             classify_s=log.classify_s,
@@ -267,6 +291,16 @@ class SerialRunner(BatchRunner):
     backend = "serial"
     jobs = 1
 
+    def _spans_for(self, task, early_stop) -> List[tuple]:
+        if early_stop is None and self.cache is None and self.chunk_size is None:
+            # Single sweep: identical result, no merge overhead.  (A
+            # cache forces planned chunks so serial and pool batches
+            # store/fetch identical chunk spans; an explicit chunk_size
+            # does too, so the two venues account interrupts over the
+            # same span set.)
+            return [(0, task.n_runs)]
+        return self._plan(task)
+
     def run(self, tasks: Sequence, early_stop: Optional[EarlyStopRule] = None) -> List:
         tasks = list(tasks)
         t0 = time.perf_counter()
@@ -275,31 +309,43 @@ class SerialRunner(BatchRunner):
         stopped_any = False
         interrupted: Optional[BaseException] = None
         requested = sum(t.n_runs for t in tasks)
+        handled: set = set()
         try:
             for ti, task in enumerate(tasks):
-                if early_stop is None and self.cache is None:
-                    # Single sweep: identical result, no merge overhead.
-                    # (A cache forces planned chunks so serial and pool
-                    # batches store/fetch identical chunk spans.)
-                    spans = [(0, task.n_runs)]
-                else:
-                    spans = self._plan(task)
                 value = None
-                for start, stop in spans:
+                stopped = False
+                for start, stop in self._spans_for(task, early_stop):
+                    if stopped:
+                        # Mirror the pool venue: spans dropped by early
+                        # stopping are accounted as cancelled.
+                        log.chunk(ti, start, stop, 0, "cancelled", "serial", 0.0)
+                        handled.add((ti, start, stop))
+                        continue
                     part = self._serial_chunk(task, ti, start, stop, log)
+                    handled.add((ti, start, stop))
                     value = part if value is None else merge_partials(value, part)
                     if early_stop is not None and early_stop.should_stop(value):
-                        stopped_any = True
-                        break
+                        stopped = stopped_any = True
                 values.append(value)
         except KeyboardInterrupt as exc:
             interrupted = exc
             raise
         finally:
+            if interrupted is not None:
+                # Ctrl-C: account every planned-but-unprocessed span as
+                # cancelled — the same accounting the pool venue gives
+                # its outstanding futures — so partial RunStats never
+                # overstate serial coverage.
+                for ti, task in enumerate(tasks):
+                    for start, stop in self._spans_for(task, early_stop):
+                        if (ti, start, stop) not in handled:
+                            log.chunk(
+                                ti, start, stop, 0, "cancelled", "serial", 0.0
+                            )
             self._record(len(tasks), requested, t0, stopped_any, log)
             if interrupted is not None:
-                # Ctrl-C: the re-raised interrupt carries the partial
-                # accounting of everything that did complete.
+                # The re-raised interrupt carries the partial accounting
+                # of everything that did complete.
                 interrupted.run_stats = self.last_stats
         return values
 
@@ -413,12 +459,15 @@ class ProcessPoolRunner(BatchRunner):
         interrupted: Optional[BaseException] = None
         self._pool_broken = False
         ctx = multiprocessing.get_context("fork")
-        pool = ProcessPoolExecutor(
+        self._pool_args = dict(
             max_workers=self.jobs,
             mp_context=ctx,
             initializer=_worker_init,
             initargs=(tasks, self.cache, self.exec_backend),
         )
+        pool = self._pool = ProcessPoolExecutor(**self._pool_args)
+        self._retired_pools: List[ProcessPoolExecutor] = []
+        self._last_progress = time.monotonic()
         submitted: List[List[tuple]] = []
         handled: set = set()
         try:
@@ -439,7 +488,7 @@ class ProcessPoolRunner(BatchRunner):
                         handled.add((ti, start, stop))
                         continue
                     part = self._chunk_result(
-                        pool, tasks[ti], ti, start, stop, future, log
+                        tasks[ti], ti, start, stop, future, log
                     )
                     handled.add((ti, start, stop))
                     value = part if value is None else merge_partials(value, part)
@@ -468,7 +517,10 @@ class ProcessPoolRunner(BatchRunner):
                         log.chunk(
                             ti, start, stop, 0, "cancelled", "pool", 0.0
                         )
-            pool.shutdown(wait=False, cancel_futures=True)
+            # Shut down the live pool and every executor retired by a
+            # wedged-chunk respawn.
+            for retired in (*self._retired_pools, self._pool):
+                self._dispose_pool(retired)
             self._record(len(tasks), requested, t0, stopped_any, log)
             if interrupted is not None:
                 interrupted.run_stats = self.last_stats
@@ -476,7 +528,7 @@ class ProcessPoolRunner(BatchRunner):
 
     # -- per-chunk recovery --------------------------------------------------
 
-    def _chunk_result(self, pool, task, ti, start, stop, future, log: BatchLog):
+    def _chunk_result(self, task, ti, start, stop, future, log: BatchLog):
         """Resolve one chunk through the degradation ladder."""
         policy = self.retry
         t0 = time.perf_counter()
@@ -484,6 +536,7 @@ class ProcessPoolRunner(BatchRunner):
         while True:
             try:
                 part, inst = self._await(future)
+                self._last_progress = time.monotonic()
                 log.chunk(
                     ti, start, stop, attempt + 1,
                     "ok" if attempt == 0 else "retried", "pool",
@@ -494,9 +547,21 @@ class ProcessPoolRunner(BatchRunner):
             except BackendError:
                 # Propagate backend assertions (see _serial_chunk).
                 raise
-            except ChunkTimeout:
+            except ChunkTimeout as exc:
                 log.failed_attempts += 1
                 log.timeouts += 1
+                if getattr(exc, "wedged", False):
+                    # The chunk is *running* past its deadline, and
+                    # cancel() cannot free a running future: without
+                    # intervention the slot stays occupied and the
+                    # retry queues behind the very chunk it replaces.
+                    # Retire the executor and respawn a fresh one.
+                    self._respawn_pool()
+            except FuturesCancelled:
+                # A sibling future cancelled by a pool respawn (it is a
+                # BaseException since 3.8, so the clause below does not
+                # see it): an ordinary failed attempt.
+                log.failed_attempts += 1
             except BrokenProcessPool:
                 log.failed_attempts += 1
                 self._pool_broken = True
@@ -508,7 +573,7 @@ class ProcessPoolRunner(BatchRunner):
             log.retries += 1
             time.sleep(policy.backoff_for(attempt))
             try:
-                future = pool.submit(
+                future = self._pool.submit(
                     _worker_run_chunk, ti, start, stop, attempt, self.fault
                 )
             except RuntimeError:  # pool broken or already shutting down
@@ -526,6 +591,65 @@ class ProcessPoolRunner(BatchRunner):
         )
         return part
 
+    @staticmethod
+    def _dispose_pool(pool) -> None:
+        """Discard an executor whose results are no longer wanted.
+
+        ``shutdown(wait=False)`` alone is not enough for a pool that
+        still has a *running* chunk (a wedged straggler in a retired
+        executor, or abandoned work after an early stop/interrupt): the
+        executor's manager thread keeps waiting for that result, and at
+        interpreter exit ``concurrent.futures``' atexit hook joins the
+        manager thread — deadlocking shutdown.
+
+        Disposal is therefore two-phase.  First a short graceful
+        window: an idle pool's manager exits in milliseconds, and even
+        a stuck one processes the shutdown flag — dropping cancelled
+        work items, so the forced path below cannot race it into
+        ``set_exception`` on an already-cancelled future.  If the
+        manager is still alive after the grace period, the worker
+        processes are killed — a wakeup the manager thread is
+        guaranteed to see (it waits on the process sentinels and joins
+        workers on exit) — and the manager reaped with a bounded join.
+        Results were already consumed or abandoned by the caller, and
+        chunk-cache writes are atomic (write-to-temp + rename), so the
+        kill cannot lose or corrupt state.
+        """
+        # Snapshot the worker list *before* shutdown: the manager thread
+        # may clear its process table while tearing down, and a worker
+        # that never receives its shutdown sentinel must still be killed.
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        manager = getattr(pool, "_executor_manager_thread", None)
+        pool.shutdown(wait=False, cancel_futures=True)
+        if manager is not None:
+            manager.join(timeout=0.25)
+            if not manager.is_alive():
+                return
+        for proc in processes:
+            try:
+                proc.kill()
+            except Exception:
+                pass
+        if manager is not None:
+            manager.join(timeout=5.0)
+
+    def _respawn_pool(self) -> None:
+        """Replace the executor after a running chunk wedged its slot.
+
+        ``Future.cancel()`` is a no-op once a worker has started the
+        chunk, so a wedged (e.g. sleep-faulted) execution permanently
+        occupies a slot in the old pool.  A fresh executor restores full
+        capacity immediately; the old one is retired without waiting —
+        its queued futures are cancelled (surfacing as
+        ``CancelledError`` failed attempts that resubmit here), its
+        running ones finish in orphaned processes and are consumed
+        normally.
+        """
+        retired = self._pool
+        self._retired_pools.append(retired)
+        self._pool = ProcessPoolExecutor(**self._pool_args)
+        retired.shutdown(wait=False, cancel_futures=True)
+
     def _await(self, future):
         """``future.result()`` under the policy's per-chunk deadline.
 
@@ -534,10 +658,41 @@ class ProcessPoolRunner(BatchRunner):
         extended (the pool is busy, not hung) — but only for a bounded
         number of deadlines, so a pool whose every worker is wedged still
         degrades instead of blocking forever.
+
+        A timeout on a *running* future marks the raised
+        :class:`ChunkTimeout` as ``wedged``: cancellation cannot reclaim
+        that slot, so the caller respawns the executor.
         """
         timeout = self.retry.chunk_timeout_s
         if timeout is None:
-            return future.result()
+            # No per-chunk deadline — but never trust a *pending* future
+            # unconditionally: a starved pool (see _STARVATION_GRACE_S)
+            # would block this wait forever.  A future that is running is
+            # waited on indefinitely, exactly as before; a future that
+            # has not started while the whole batch made no progress for
+            # the grace period marks the pool wedged so the caller
+            # respawns it.
+            while True:
+                try:
+                    return future.result(timeout=_STARVATION_POLL_S)
+                except FuturesTimeout:
+                    if future.running():
+                        continue
+                    stalled = time.monotonic() - self._last_progress
+                    if stalled <= _STARVATION_GRACE_S:
+                        continue
+                    future.cancel()
+                    exc = ChunkTimeout(
+                        f"pool made no progress for {stalled:.0f}s with "
+                        "this chunk still queued — executor starved"
+                    )
+                    exc.wedged = True
+                    raise exc from None
+                except BaseException:
+                    # A delivered failure is still delivery: the pool is
+                    # feeding results, so reset the starvation clock.
+                    self._last_progress = time.monotonic()
+                    raise
         deadlines_waited = 0
         while True:
             try:
@@ -545,7 +700,10 @@ class ProcessPoolRunner(BatchRunner):
             except FuturesTimeout:
                 deadlines_waited += 1
                 if future.running() or deadlines_waited >= _QUEUE_WAIT_DEADLINES:
+                    wedged = future.running()
                     future.cancel()
-                    raise ChunkTimeout(
+                    exc = ChunkTimeout(
                         f"chunk missed its {timeout:.3f}s deadline"
-                    ) from None
+                    )
+                    exc.wedged = wedged
+                    raise exc from None

@@ -45,11 +45,14 @@ class ChunkStats:
     served from disk, ``"stored"`` — computed and persisted, ``""`` — no
     cache involved.
 
-    ``backend`` names the *venue* (``"serial"``/``"process-pool"``);
-    ``engine`` names the execution engine that computed the partial —
-    ``"reference"`` for the state machine, ``"vectorized"`` for a NumPy
-    kernel, ``"cache"`` when the partial was served from disk and no
-    engine ran at all.
+    ``backend`` names the *venue* (``"serial"``/``"process-pool"``/
+    ``"distributed"``); ``engine`` names the execution engine that
+    computed the partial — ``"reference"`` for the state machine,
+    ``"vectorized"`` for a NumPy kernel, ``"cache"`` when the partial
+    was served from disk and no engine ran at all.  ``worker`` is the
+    distributed venue's per-host attribution (the remote worker id that
+    produced the partial; empty for in-process chunks), so a slow or
+    flaky host is traceable from the exported stats.
     """
 
     task_index: int
@@ -64,6 +67,7 @@ class ChunkStats:
     classify_s: float = 0.0
     cache: str = ""
     engine: str = "reference"
+    worker: str = ""
 
     @property
     def n_runs(self) -> int:
@@ -102,6 +106,9 @@ class RunStats:
     timeouts: int = 0
     serial_replays: int = 0
     cancelled_chunks: int = 0
+    #: Distributed venue only: workers that died mid-batch (EOF, stale
+    #: heartbeat, send failure) and had their chunks reassigned.
+    worker_deaths: int = 0
     setup_s: float = 0.0
     execute_s: float = 0.0
     classify_s: float = 0.0
@@ -177,6 +184,7 @@ class BatchLog:
         self.timeouts = 0
         self.serial_replays = 0
         self.cancelled = 0
+        self.worker_deaths = 0
         self.setup_s = 0.0
         self.execute_s = 0.0
         self.classify_s = 0.0
@@ -198,13 +206,16 @@ class BatchLog:
         backend: str,
         wall_clock_s: float,
         inst: Optional[dict] = None,
+        worker: str = "",
     ) -> None:
         """Record one resolved chunk.
 
         ``inst`` is the instrumentation delta measured around the chunk
         (phase seconds plus memo/cache counter increments — see
-        ``runtime.cache.instrumentation_delta``); for pool chunks it is
-        the delta the worker shipped back with the partial.
+        ``runtime.cache.instrumentation_delta``); for pool and
+        distributed chunks it is the delta the worker shipped back with
+        the partial.  ``worker`` attributes distributed chunks to the
+        remote host that computed them.
         """
         inst = inst or {}
         cache_state = ""
@@ -232,6 +243,7 @@ class BatchLog:
                 classify_s=inst.get("classify_s", 0.0),
                 cache=cache_state,
                 engine=engine,
+                worker=worker,
             )
         )
         self.setup_s += inst.get("setup_s", 0.0)

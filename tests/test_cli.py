@@ -112,6 +112,36 @@ class TestRuntimeFlags:
         assert '"backend"' in out
         assert '"serial_replays"' in out
         assert '"failed_attempts"' in out
+        assert '"worker_deaths"' in out
+
+    def test_workers_flag_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["--workers", "h1:9000,h2:9001", "attack", "dummy"]
+        )
+        assert args.workers == "h1:9000,h2:9001"
+        # Default: None (resolve_runner then consults REPRO_WORKERS).
+        assert parser.parse_args(["zoo"]).workers is None
+
+    def test_workers_flag_builds_distributed_runner(self):
+        from repro.runtime import DistributedRunner, resolve_runner
+
+        runner = resolve_runner(None, workers="h1:9000,h2:9001")
+        assert isinstance(runner, DistributedRunner)
+        assert runner.worker_addrs == [("h1", 9000), ("h2", 9001)]
+        assert runner.jobs == 2
+
+    def test_worker_subcommand_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["worker"])
+        assert args.command == "worker"
+        assert args.listen == "127.0.0.1:0"
+        assert not args.once
+        args = parser.parse_args(
+            ["worker", "--listen", "0.0.0.0:9100", "--once"]
+        )
+        assert args.listen == "0.0.0.0:9100"
+        assert args.once
 
 
 class TestFaultSensitivityCommand:

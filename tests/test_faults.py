@@ -658,6 +658,30 @@ class TestKeyboardInterrupt:
         assert values[0].total == 30
         assert runner.last_stats.cancelled_chunks == 0
 
+    def test_venues_report_identical_cancelled_counts(self):
+        """Regression: the serial venue used to drop planned-but-unrun
+        spans from the log entirely on Ctrl-C, so its partial RunStats
+        silently overstated coverage relative to the pool venue.  Both
+        must now account the same interrupt point identically."""
+
+        def tasks():
+            return [
+                _InterruptingTask(50, boom_at=25),
+                _InterruptingTask(30, boom_at=10**9),
+            ]
+
+        serial = SerialRunner(chunk_size=10)
+        with pytest.raises(KeyboardInterrupt):
+            serial.run(tasks())
+        pooled = ProcessPoolRunner(2, chunk_size=10, min_parallel_runs=0)
+        with pytest.raises(KeyboardInterrupt):
+            pooled.run(tasks())
+        assert serial.last_stats.cancelled_chunks > 0
+        assert (
+            serial.last_stats.cancelled_chunks
+            == pooled.last_stats.cancelled_chunks
+        )
+
 
 # -- fault-sensitivity experiment --------------------------------------------
 

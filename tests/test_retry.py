@@ -108,6 +108,23 @@ class TestFaultSpec:
         with pytest.raises(ValueError):
             FaultSpec.from_env()
 
+    def test_from_env_numeric_seed_matches_int_spec(self, monkeypatch):
+        """Regression: ``encode_seed`` is type-tagged, so the env string
+        "0" and the programmatic default ``seed=0`` used to produce
+        *different* fault patterns.  Numeric env seeds must parse to int."""
+        monkeypatch.setenv("REPRO_FAULT_RATE", "0.5")
+        monkeypatch.delenv("REPRO_FAULT_KIND", raising=False)
+        monkeypatch.setenv("REPRO_FAULT_SEED", "0")
+        spec = FaultSpec.from_env()
+        assert spec.seed == 0 and isinstance(spec.seed, int)
+        reference = FaultSpec(rate=0.5, seed=0)
+        pattern = [spec.fault_attempts(t, s) for t in range(4) for s in (0, 9)]
+        expected = [reference.fault_attempts(t, s) for t in range(4) for s in (0, 9)]
+        assert pattern == expected
+        # Non-numeric seeds still pass through as strings.
+        monkeypatch.setenv("REPRO_FAULT_SEED", "ci-run")
+        assert FaultSpec.from_env().seed == "ci-run"
+
     def test_run_task_chunk_injects(self):
         class Tiny:
             n_runs = 4
@@ -138,6 +155,17 @@ class TestRetryPolicy:
         assert policy.max_retries == 5 and policy.chunk_timeout_s == 1.5
         monkeypatch.setenv("REPRO_MAX_RETRIES", "many")
         with pytest.raises(ValueError):
+            RetryPolicy.from_env()
+
+    @pytest.mark.parametrize("raw", ["0", "-3", "0.0"])
+    def test_from_env_rejects_non_positive_timeout(self, monkeypatch, raw):
+        """Regression: a non-positive ``REPRO_CHUNK_TIMEOUT`` used to be
+        silently coerced to "no deadline" — the opposite of what a CI job
+        writing ``REPRO_CHUNK_TIMEOUT=0`` to tighten the ladder intended.
+        It must fail loudly, naming the variable."""
+        monkeypatch.delenv("REPRO_MAX_RETRIES", raising=False)
+        monkeypatch.setenv("REPRO_CHUNK_TIMEOUT", raw)
+        with pytest.raises(ValueError, match="REPRO_CHUNK_TIMEOUT"):
             RetryPolicy.from_env()
 
     def test_backoff_grows(self):
@@ -220,6 +248,40 @@ def test_chunk_timeout_triggers_retry():
     assert counts == clean
     assert counts.run_stats.timeouts >= 1
     assert counts.run_stats.failed_attempts >= counts.run_stats.timeouts
+
+
+def test_wedged_worker_does_not_leak_pool_slot():
+    """Regression: ``future.cancel()`` is a no-op on an already-*running*
+    future, so a worker wedged past its deadline used to keep its pool
+    slot and the retry queued behind the very sleep it was escaping —
+    serially eating a queue-wait deadline per retry until the ladder
+    exhausted.  After the fix the pool is respawned on a wedged timeout,
+    so retries land immediately and complete well before the sleeps
+    would have drained."""
+    import time
+
+    protocol, factory = _workload()
+    clean = _clean_serial(protocol, factory, 80, seed=5)
+    runner = pool(
+        2, chunk_size=40,
+        retry=RetryPolicy(max_retries=2, chunk_timeout_s=0.15, **FAST),
+        # Every chunk's first attempt sleeps 3 s — 20x the deadline, and
+        # longer than the whole test budget if a slot were still leaked.
+        fault=FaultSpec(
+            rate=1.0, kind="sleep", sleep_s=3.0, seed="wedge",
+            max_consecutive=1,
+        ),
+    )
+    t0 = time.perf_counter()
+    counts = run_batch(protocol, factory, 80, seed=5, runner=runner)
+    elapsed = time.perf_counter() - t0
+    assert counts == clean
+    assert counts.run_stats.timeouts >= 1
+    # The retries themselves landed in the pool: no degradation to
+    # trusted serial replay, and no waiting out the 3 s sleeps.
+    assert counts.run_stats.serial_replays == 0
+    assert not counts.run_stats.degraded
+    assert elapsed < 3.0
 
 
 def test_serial_runner_walks_the_same_ladder():
