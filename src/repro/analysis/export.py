@@ -141,6 +141,12 @@ def run_stats_to_dict(stats: RunStats) -> dict:
         "serial_replays": stats.serial_replays,
         "cancelled_chunks": stats.cancelled_chunks,
         "worker_deaths": stats.worker_deaths,
+        "journal_replayed_chunks": stats.journal_replayed_chunks,
+        "journal_appended_chunks": stats.journal_appended_chunks,
+        "journal_corrupt_records": stats.journal_corrupt_records,
+        "journal_stale_records": stats.journal_stale_records,
+        "cache_corrupt_entries": stats.cache_corrupt_entries,
+        "cache_write_errors": stats.cache_write_errors,
         "degraded": stats.degraded,
         "setup_s": stats.setup_s,
         "execute_s": stats.execute_s,
@@ -259,6 +265,7 @@ def report_to_dict(report: VerificationReport) -> dict:
             "wall_clock_s": report.wall_clock_s,
             "backend": report.runner_backend,
             "jobs": report.jobs,
+            "journal": report.journal_summary(),
         },
     }
 

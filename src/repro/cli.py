@@ -14,6 +14,10 @@ Commands
                    0 (all ok) / 1 (violated) / 2 (bad claim spec)
 ``worker``         serve chunk executions to a distributed coordinator
                    (``repro worker --listen HOST:PORT``)
+``chaos``          run a seeded, reproducible chaos campaign: compose
+                   fault dimensions (injected chunk faults, worker
+                   kills, interrupts, cache/journal corruption) over
+                   execution venues and assert the runtime's invariants
 
 All measurements are Monte-Carlo; ``--runs`` and ``--seed`` control the
 budget and reproducibility, and ``--jobs`` (or the ``REPRO_JOBS``
@@ -30,7 +34,12 @@ degradation counters, per-phase timings, and cache traffic — after the
 command output.  ``--cache DIR`` (or ``REPRO_CACHE_DIR``) enables the
 persistent chunk-result cache: re-running a sweep with the same
 protocol, strategies, seed, and fault config replays stored chunk
-partials bit-identically instead of recomputing them.  ``--backend``
+partials bit-identically instead of recomputing them.  ``--journal DIR``
+(or ``REPRO_JOURNAL_DIR``) enables the crash-safe run ledger: every
+completed chunk partial is durably appended, and ``--resume`` (or
+``REPRO_RESUME=1``) replays the journaled spans of an interrupted run
+instead of recomputing them — the resumed artifact is byte-identical to
+an uninterrupted one.  ``--backend``
 (or ``REPRO_BACKEND``) selects the execution engine: ``auto`` (default)
 hands eligible (protocol, strategy) chunks to the NumPy vectorized
 backend and falls back to the reference state machine per task,
@@ -45,6 +54,7 @@ import argparse
 import json
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import Dict, List
 
 from .adversaries import (
@@ -73,7 +83,8 @@ from .core import (
     monte_carlo_tolerance,
 )
 from .functions import make_concat, make_contract_exchange, make_swap
-from .runtime import RetryPolicy, resolve_cache, resolve_runner
+from .runtime import RetryPolicy, resolve_cache, resolve_journal, resolve_runner
+from .runtime.chaos import DIMENSIONS as CHAOS_DIMENSIONS
 
 
 def _protocol_registry(n: int) -> Dict[str, object]:
@@ -197,6 +208,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent chunk-result cache directory (default: "
         "$REPRO_CACHE_DIR or no cache); identical (protocol, strategy, "
         "seed, span, faults) chunks are replayed from disk",
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="crash-safe run-ledger directory (default: $REPRO_JOURNAL_DIR "
+        "or no journal); every completed chunk partial is durably "
+        "appended so an interrupted run can be resumed",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay journaled chunk partials from --journal instead of "
+        "recomputing them (requires --journal or $REPRO_JOURNAL_DIR); "
+        "the resumed result is byte-identical to an uninterrupted run",
     )
     parser.add_argument(
         "--backend",
@@ -336,6 +362,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         default=argparse.SUPPRESS,
         help=argparse.SUPPRESS,
+    )
+    verify.add_argument(
+        "--journal",
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+    verify.add_argument(
+        "--resume",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded chaos campaign: compose fault dimensions over "
+        "execution venues, assert payload bit-identity, leak-freedom, "
+        "and failure-counter consistency; exit 0 (all trials ok) / 1",
+    )
+    chaos.add_argument(
+        "--trials",
+        type=int,
+        default=4,
+        help="number of seeded trials to plan (default 4); each draws a "
+        "venue and a fault-dimension subset from --seed",
+    )
+    chaos.add_argument(
+        "--venues",
+        default="serial,pool",
+        help="comma-separated venues the planner may draw: serial, pool, "
+        "distributed (default serial,pool; distributed spawns real "
+        "'repro worker' subprocesses)",
+    )
+    chaos.add_argument(
+        "--dims",
+        default=",".join(CHAOS_DIMENSIONS),
+        help="comma-separated fault dimensions the planner may draw "
+        f"(default: all — {', '.join(CHAOS_DIMENSIONS)})",
+    )
+    chaos.add_argument(
+        "--trial",
+        action="append",
+        default=[],
+        metavar="VENUE:DIM+DIM",
+        help="append one explicit trial after the planned ones (repeatable; "
+        "e.g. 'distributed:worker-kill+chunk-faults') — CI uses this for "
+        "deterministic coverage of specific combinations",
+    )
+    chaos.add_argument(
+        "--trial-runs",
+        type=int,
+        default=48,
+        help="Monte-Carlo runs per task inside each trial (default 48)",
+    )
+    chaos.add_argument(
+        "--process-trials",
+        action="store_true",
+        help="also kill a real 'repro verify' coordinator (SIGKILL and "
+        "SIGINT), corrupt a journal record, resume, and require a "
+        "byte-identical deterministic payload",
+    )
+    chaos.add_argument(
+        "--workdir",
+        default=None,
+        metavar="DIR",
+        help="keep per-trial journals/caches under DIR for post mortems "
+        "(default: a temporary directory, removed afterward)",
+    )
+    chaos.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the full campaign report (per-trial specs, failures, "
+        "observed counters) as JSON",
     )
 
     worker = sub.add_parser(
@@ -634,6 +734,42 @@ def cmd_verify(args, registry):
     return "\n".join(lines), report.exit_code
 
 
+def cmd_chaos(args, registry):
+    """Run a seeded chaos campaign; exit 0 (all trials ok) / 1.
+
+    Every trial choice derives from ``--seed``, so a failing campaign is
+    a reproducible test case: re-run with the same seed and flags.
+    """
+    from .runtime.chaos import run_campaign
+
+    def echo(message: str) -> None:
+        print(message, file=sys.stderr, flush=True)
+
+    try:
+        report = run_campaign(
+            args.seed,
+            n_trials=args.trials,
+            venues=tuple(
+                v.strip() for v in args.venues.split(",") if v.strip()
+            ),
+            dims=tuple(d.strip() for d in args.dims.split(",") if d.strip()),
+            explicit=tuple(args.trial),
+            workdir=args.workdir,
+            trial_runs=args.trial_runs,
+            process_trials=args.process_trials,
+            echo=echo,
+        )
+    except ValueError as exc:
+        # Bad venue/dimension/trial spec: a usage error, like argparse's.
+        raise SystemExit(f"repro chaos: {exc}")
+    lines = [str(report)]
+    if args.out:
+        path = Path(args.out)
+        path.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        lines.append(f"artifact written: {path}")
+    return "\n".join(lines), report.exit_code
+
+
 def cmd_worker(args, registry) -> str:
     """Run a distributed worker server until interrupted (or, with
     ``--once``, until its first coordinator disconnects)."""
@@ -666,23 +802,33 @@ COMMANDS = {
     "profile": cmd_profile,
     "verify": cmd_verify,
     "worker": cmd_worker,
+    "chaos": cmd_chaos,
 }
 
 
 def _build_runner(args):
     """One runner for the whole command, so ``--stats`` sees every batch."""
-    retry = RetryPolicy.from_env()
-    if args.max_retries is not None:
-        retry = replace(retry, max_retries=max(0, args.max_retries))
-    if args.chunk_timeout is not None:
-        retry = replace(retry, chunk_timeout_s=args.chunk_timeout)
-    return resolve_runner(
-        args.jobs,
-        retry=retry,
-        cache=resolve_cache(args.cache),
-        backend=args.backend,
-        workers=args.workers,
-    )
+    # Every knob parsed here (REPRO_CHUNK_TIMEOUT, REPRO_JOBS,
+    # REPRO_WORKERS, REPRO_HEARTBEAT_S, REPRO_RESUME, --resume without a
+    # directory, ...) raises ValueError naming itself; at the CLI
+    # surface that is a usage error, reported like argparse's own.
+    try:
+        retry = RetryPolicy.from_env()
+        if args.max_retries is not None:
+            retry = replace(retry, max_retries=max(0, args.max_retries))
+        if args.chunk_timeout is not None:
+            retry = replace(retry, chunk_timeout_s=args.chunk_timeout)
+        journal = resolve_journal(args.journal, resume=args.resume)
+        return resolve_runner(
+            args.jobs,
+            retry=retry,
+            cache=resolve_cache(args.cache),
+            backend=args.backend,
+            workers=args.workers,
+            journal=journal,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
 
 
 def main(argv: List[str] = None) -> int:

@@ -50,7 +50,20 @@ from .runner import (
     resolve_runner,
 )
 # (after .runner: the coordinator builds on BatchRunner/SerialRunner)
-from .distributed import ENV_WORKERS, DistributedRunner, parse_workers
+from .distributed import (
+    ENV_HEARTBEAT,
+    ENV_WORKERS,
+    DistributedRunner,
+    parse_workers,
+    resolve_heartbeat,
+)
+from .journal import (
+    ENV_JOURNAL_DIR,
+    ENV_RESUME,
+    JOURNAL_SCHEMA_VERSION,
+    RunJournal,
+    resolve_journal,
+)
 from .stats import ChunkStats, MeasuredCounts, RunStats
 from .tasks import (
     ExecutionTask,
@@ -106,6 +119,13 @@ __all__ = [
     "PHASES",
     "ENV_CACHE_DIR",
     "CACHE_SCHEMA_VERSION",
+    "RunJournal",
+    "resolve_journal",
+    "ENV_JOURNAL_DIR",
+    "ENV_RESUME",
+    "JOURNAL_SCHEMA_VERSION",
+    "ENV_HEARTBEAT",
+    "resolve_heartbeat",
     "BACKENDS",
     "ENV_BACKEND",
     "HAVE_NUMPY",

@@ -40,6 +40,7 @@ the parent inside the chunk result.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
@@ -53,9 +54,18 @@ from ..crypto.prf import encode_seed
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
 #: Bumped whenever the meaning of a cached partial changes (event
-#: vocabulary, classifier semantics, chunk planning): old entries then
-#: miss instead of poisoning new runs.
-CACHE_SCHEMA_VERSION = 1
+#: vocabulary, classifier semantics, chunk planning) **or** the on-disk
+#: entry format changes: old entries then miss instead of poisoning new
+#: runs.  Version 2 added the per-entry integrity header below.
+CACHE_SCHEMA_VERSION = 2
+
+#: On-disk entry layout since schema v2: a 4-byte magic, the SHA-256 of
+#: the pickled payload, then the payload itself.  The digest turns a
+#: torn write or a flipped bit into a *detected* corruption (quarantined
+#: and counted) instead of an undifferentiated miss — or worse, an
+#: unpickling error with an unbounded blast radius.
+_ENTRY_MAGIC = b"RCC2"
+_DIGEST_BYTES = 32
 
 
 class PhaseClock:
@@ -86,6 +96,8 @@ INSTRUMENT_KEYS = (
     "cache_hits",
     "cache_misses",
     "cache_stores",
+    "cache_corrupt",
+    "cache_write_errors",
     "vectorized_runs",
 )
 
@@ -114,6 +126,8 @@ def instrumentation_snapshot() -> dict:
         "cache_hits": ChunkCache.counters["hits"],
         "cache_misses": ChunkCache.counters["misses"],
         "cache_stores": ChunkCache.counters["stores"],
+        "cache_corrupt": ChunkCache.counters["corrupt"],
+        "cache_write_errors": ChunkCache.counters["write_errors"],
         "vectorized_runs": vectorized_counters["vectorized_runs"],
     }
 
@@ -134,11 +148,14 @@ def faults_fingerprint(faults) -> str:
 class ChunkCache:
     """Content-addressed on-disk store of chunk partials.
 
-    Entries are pickled mergeable partials under
+    Entries are pickled mergeable partials (behind a magic + SHA-256
+    integrity header, see :data:`_ENTRY_MAGIC`) under
     ``<root>/<key[:2]>/<key>.pkl`` where ``key`` is the hex digest of the
     task's canonical fingerprint plus the chunk span, schema version, and
-    user salt.  Lookups and stores are best-effort: an unreadable or
-    corrupt entry is a miss, a failed write is ignored — the cache can
+    user salt.  Lookups and stores are best-effort: an unreadable entry
+    is a miss, a *corrupt* entry (bad magic or checksum mismatch) is a
+    quarantined miss counted in ``counters["corrupt"]``, and a failed
+    write is counted in ``counters["write_errors"]`` — the cache can
     make a sweep faster but can never make it fail or change its result.
 
     ``salt`` partitions the key space for callers whose downstream
@@ -148,8 +165,14 @@ class ChunkCache:
     entries across payoff vectors soundly.
     """
 
-    #: Process-wide hit/miss/store counters (workers ship deltas back).
-    counters = {"hits": 0, "misses": 0, "stores": 0}
+    #: Process-wide traffic counters (workers ship deltas back).
+    counters = {
+        "hits": 0,
+        "misses": 0,
+        "stores": 0,
+        "corrupt": 0,
+        "write_errors": 0,
+    }
 
     def __init__(self, root, salt: str = ""):
         self.root = Path(root)
@@ -192,20 +215,55 @@ class ChunkCache:
 
     # -- access -------------------------------------------------------------
     def fetch(self, key: str) -> Tuple[bool, object]:
-        """``(True, partial)`` on a hit, ``(False, None)`` otherwise."""
+        """``(True, partial)`` on a hit, ``(False, None)`` otherwise.
+
+        An entry that fails its integrity check — wrong magic, short
+        header, checksum mismatch, or an unpicklable payload behind a
+        *valid* checksum (a schema bug, not bit rot, but equally unsafe)
+        — is quarantined (renamed aside so it cannot poison the next
+        lookup either) and counted as both corrupt and a miss.
+        """
+        path = self._path(key)
         try:
-            data = self._path(key).read_bytes()
-            value = pickle.loads(data)
-        except Exception:
-            # Missing, unreadable, or corrupt entry: a miss, never an error.
+            data = path.read_bytes()
+        except OSError:
+            # Missing or unreadable entry: an ordinary miss.
             ChunkCache.counters["misses"] += 1
+            return False, None
+        try:
+            if data[: len(_ENTRY_MAGIC)] != _ENTRY_MAGIC:
+                raise ValueError("bad magic")
+            header_len = len(_ENTRY_MAGIC) + _DIGEST_BYTES
+            digest = data[len(_ENTRY_MAGIC):header_len]
+            payload = data[header_len:]
+            if len(digest) != _DIGEST_BYTES:
+                raise ValueError("truncated header")
+            if hashlib.sha256(payload).digest() != digest:
+                raise ValueError("checksum mismatch")
+            value = pickle.loads(payload)
+        except Exception:
+            ChunkCache.counters["corrupt"] += 1
+            ChunkCache.counters["misses"] += 1
+            self._quarantine(path)
             return False, None
         ChunkCache.counters["hits"] += 1
         return True, value
 
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
     def store(self, key: str, value) -> None:
-        """Atomically persist one partial (best-effort)."""
+        """Atomically persist one partial (best-effort, checksummed)."""
         path = self._path(key)
+        payload = pickle.dumps(value)
+        blob = _ENTRY_MAGIC + hashlib.sha256(payload).digest() + payload
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -213,7 +271,7 @@ class ChunkCache:
             )
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(value, handle)
+                    handle.write(blob)
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -222,6 +280,7 @@ class ChunkCache:
                     pass
                 raise
         except OSError:
+            ChunkCache.counters["write_errors"] += 1
             return
         ChunkCache.counters["stores"] += 1
 

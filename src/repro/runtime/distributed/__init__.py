@@ -32,13 +32,15 @@ from .wire import (
     recv_frame,
     send_frame,
 )
-from .worker import WorkerServer, serve
+from .worker import ENV_HEARTBEAT, WorkerServer, resolve_heartbeat, serve
 
 __all__ = [
     "CodecError",
     "ConnectionClosed",
     "DistributedRunner",
+    "ENV_HEARTBEAT",
     "ENV_WORKERS",
+    "resolve_heartbeat",
     "FrameError",
     "MAX_FRAME",
     "PROTOCOL_VERSION",

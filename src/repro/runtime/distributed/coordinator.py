@@ -60,7 +60,7 @@ from .wire import (
     recv_frame,
     send_frame,
 )
-from .worker import DEFAULT_HEARTBEAT_S, fault_spec_to_dict
+from .worker import DEFAULT_HEARTBEAT_S, fault_spec_to_dict, resolve_heartbeat
 
 #: Environment variable listing worker addresses (``host:port,host:port``).
 ENV_WORKERS = "REPRO_WORKERS"
@@ -102,9 +102,18 @@ def parse_workers(spec) -> List[Tuple[str, int]]:
                 f"or {ENV_WORKERS} to a comma-separated list)"
             )
         try:
-            addrs.append((host, int(port)))
+            port_num = int(port)
         except ValueError:
-            raise ValueError(f"worker address {part!r} has a non-integer port")
+            raise ValueError(
+                f"worker address {part!r} (from --workers or {ENV_WORKERS}) "
+                "has a non-integer port"
+            )
+        if not 1 <= port_num <= 65535:
+            raise ValueError(
+                f"worker address {part!r} (from --workers or {ENV_WORKERS}) "
+                "has an out-of-range port (need 1-65535)"
+            )
+        addrs.append((host, port_num))
     return addrs
 
 
@@ -177,17 +186,21 @@ class DistributedRunner(BatchRunner):
         cache=None,
         backend: Optional[str] = None,
         connect_timeout_s: float = 5.0,
-        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        heartbeat_s: Optional[float] = None,
+        journal=None,
     ):
         super().__init__(
             chunk_size=chunk_size, retry=retry, fault=fault, cache=cache,
-            backend=backend,
+            backend=backend, journal=journal,
         )
         self.worker_addrs = parse_workers(workers)
         if not self.worker_addrs:
             raise ValueError("DistributedRunner needs at least one worker address")
         self.connect_timeout_s = connect_timeout_s
-        self.heartbeat_s = heartbeat_s
+        # Explicit argument > REPRO_HEARTBEAT_S > default; both paths
+        # validate (non-numeric or non-positive values raise, naming the
+        # knob) instead of failing deep in the death detector.
+        self.heartbeat_s = resolve_heartbeat(heartbeat_s)
         self.jobs = len(self.worker_addrs)
 
     def chunk_deadline_s(self) -> float:
@@ -209,6 +222,7 @@ class DistributedRunner(BatchRunner):
             serial = SerialRunner(
                 chunk_size=self.chunk_size, retry=self.retry,
                 fault=self.fault, cache=self.cache, backend=self.exec_backend,
+                journal=self.journal,
             )
             try:
                 return serial.run(tasks, early_stop=early_stop)
@@ -408,6 +422,27 @@ class _BatchState:
                 self.chunks.append(chunk)
                 self.pending.append(chunk)
             self.per_task.append(records)
+        # Resume: resolve journaled spans before any scheduling, folding
+        # them in ascending span order so early stopping fires at the
+        # same run indices as an uninterrupted serial batch.  Resolved
+        # chunks left in the pending deque are dropped as ghosts by the
+        # schedulers.
+        if runner.journal is not None:
+            for ti, task in enumerate(tasks):
+                for chunk in self.per_task[ti]:
+                    if self._task_stopped[ti]:
+                        break
+                    hit, part = runner._journal_fetch(
+                        task, ti, chunk.start, chunk.stop, log
+                    )
+                    if not hit:
+                        continue
+                    chunk.state = "resolved"
+                    log.chunk(
+                        ti, chunk.start, chunk.stop, 0, "journaled",
+                        "distributed", 0.0,
+                    )
+                    self._fold(ti, chunk, part)
 
     # -- scheduling ----------------------------------------------------------
 
@@ -545,6 +580,9 @@ class _BatchState:
                     inst=msg.get("inst"),
                     worker=wc.worker_id,
                 )
+                self.runner._journal_record(
+                    self.tasks[ti], ti, start, stop, part, self.log
+                )
                 self._fold(ti, chunk, part)
             elif msg.get("error_kind") == "BackendError":
                 # A forced-backend assertion is a configuration error,
@@ -611,8 +649,11 @@ class _BatchState:
                 part = task.run_chunk(chunk.start, chunk.stop)
                 outcome = "replayed"
         except BaseException as exc:
-            with self.lock:
-                chunk.state = "resolved"
+            # Leave the chunk "assigned": run()'s finally then accounts
+            # it as cancelled on an interrupt — the same accounting the
+            # serial and pool venues give the chunk the interrupt landed
+            # in — and a non-interrupt error still propagates via
+            # record_error without mislabelling the chunk resolved.
             self.record_error(exc)
             raise
         with self.lock:
@@ -624,6 +665,9 @@ class _BatchState:
                 "serial" if outcome == "replayed" else "distributed",
                 time.monotonic() - t0,
                 inst=instrumentation_delta(before),
+            )
+            self.runner._journal_record(
+                task, chunk.ti, chunk.start, chunk.stop, part, self.log
             )
             self._fold(chunk.ti, chunk, part)
 

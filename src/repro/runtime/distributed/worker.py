@@ -51,6 +51,39 @@ from .wire import (
 #: Seconds between worker heartbeats when the coordinator names none.
 DEFAULT_HEARTBEAT_S = 1.0
 
+#: Environment override for the coordinator's heartbeat interval.
+ENV_HEARTBEAT = "REPRO_HEARTBEAT_S"
+
+
+def resolve_heartbeat(value: Optional[float] = None) -> float:
+    """Effective heartbeat interval: explicit > ``REPRO_HEARTBEAT_S`` > 1s.
+
+    Validates like ``REPRO_CHUNK_TIMEOUT``: a non-numeric or non-positive
+    value raises ``ValueError`` naming the knob instead of seeding the
+    stale-heartbeat death detector with garbage.
+    """
+    if value is None:
+        raw = os.environ.get(ENV_HEARTBEAT, "").strip()
+        if not raw:
+            return DEFAULT_HEARTBEAT_S
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{ENV_HEARTBEAT} must be a number of seconds, got {raw!r}"
+            )
+        if not value > 0:
+            raise ValueError(
+                f"{ENV_HEARTBEAT} must be positive, got {raw!r}"
+            )
+        return value
+    value = float(value)
+    if not value > 0:
+        raise ValueError(
+            f"heartbeat interval must be positive, got {value!r}"
+        )
+    return value
+
 
 def fault_spec_to_dict(fault: Optional[FaultSpec]) -> Optional[dict]:
     """Wire form of a fault spec (tagged seed keeps int/str distinct)."""
@@ -216,7 +249,15 @@ class WorkerServer:
                 # out rather than compute something subtly different.
                 tasks_ok.append(False)
 
-        heartbeat_s = float(hello.get("heartbeat_s", DEFAULT_HEARTBEAT_S))
+        # The coordinator's interval is a remote suggestion, not a local
+        # config error: clamp anything malformed (non-numeric, zero,
+        # negative, NaN) to the default rather than dropping the session.
+        try:
+            heartbeat_s = float(hello.get("heartbeat_s", DEFAULT_HEARTBEAT_S))
+        except (TypeError, ValueError):
+            heartbeat_s = DEFAULT_HEARTBEAT_S
+        if not heartbeat_s > 0:
+            heartbeat_s = DEFAULT_HEARTBEAT_S
         send_lock = threading.Lock()
         with send_lock:
             send_frame(

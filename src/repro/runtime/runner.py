@@ -45,6 +45,7 @@ from typing import List, Optional, Sequence
 
 from .cache import ChunkCache, instrumentation_delta, instrumentation_snapshot
 from .early_stop import EarlyStopRule
+from .journal import RunJournal
 from .retry import ChunkTimeout, FaultSpec, RetryPolicy, run_task_chunk
 from .stats import BatchLog, RunStats
 from .tasks import merge_partials, plan_chunks
@@ -91,6 +92,14 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
                 raise ValueError(
                     f"{REPRO_JOBS_ENV} must be an integer or 'auto', got {raw!r}"
                 )
+            if jobs < 0:
+                # Name the variable: this value came from the environment,
+                # and "jobs must be non-negative" gives the operator no
+                # clue *which* knob to fix (cf. REPRO_CHUNK_TIMEOUT).
+                raise ValueError(
+                    f"{REPRO_JOBS_ENV} must be non-negative or 'auto', "
+                    f"got {raw!r}"
+                )
     if jobs == 0:
         jobs = os.cpu_count() or 1
     if jobs < 0:
@@ -106,14 +115,16 @@ def resolve_runner(
     cache: Optional[ChunkCache] = None,
     backend: Optional[str] = None,
     workers=None,
+    journal: Optional[RunJournal] = None,
 ) -> "BatchRunner":
     """Build the runner implied by ``workers``/``jobs`` (serial if ≤ 1).
 
     Venue precedence: ``workers`` (CLI ``--workers`` / ``REPRO_WORKERS``
     — the distributed venue) > ``jobs``/``REPRO_JOBS`` (process pool) >
-    serial.  ``retry``/``fault``/``cache``/``backend`` default to the
-    ``REPRO_MAX_RETRIES`` / ``REPRO_CHUNK_TIMEOUT`` / ``REPRO_FAULT_*`` /
-    ``REPRO_CACHE_DIR`` / ``REPRO_BACKEND`` environment knobs.
+    serial.  ``retry``/``fault``/``cache``/``backend``/``journal``
+    default to the ``REPRO_MAX_RETRIES`` / ``REPRO_CHUNK_TIMEOUT`` /
+    ``REPRO_FAULT_*`` / ``REPRO_CACHE_DIR`` / ``REPRO_BACKEND`` /
+    ``REPRO_JOURNAL_DIR`` environment knobs.
     """
     from .distributed import DistributedRunner, parse_workers
 
@@ -121,17 +132,17 @@ def resolve_runner(
     if addrs:
         return DistributedRunner(
             addrs, chunk_size=chunk_size, retry=retry, fault=fault,
-            cache=cache, backend=backend,
+            cache=cache, backend=backend, journal=journal,
         )
     n = resolve_jobs(jobs)
     if n <= 1:
         return SerialRunner(
             chunk_size=chunk_size, retry=retry, fault=fault, cache=cache,
-            backend=backend,
+            backend=backend, journal=journal,
         )
     return ProcessPoolRunner(
         n, chunk_size=chunk_size, retry=retry, fault=fault, cache=cache,
-        backend=backend,
+        backend=backend, journal=journal,
     )
 
 
@@ -151,6 +162,7 @@ class BatchRunner:
         fault: Optional[FaultSpec] = None,
         cache: Optional[ChunkCache] = None,
         backend: Optional[str] = None,
+        journal: Optional[RunJournal] = None,
     ):
         self.chunk_size = chunk_size
         self.retry = retry if retry is not None else RetryPolicy.from_env()
@@ -159,6 +171,11 @@ class BatchRunner:
         #: Persistent chunk-result cache; strictly opt-in (an explicit
         #: instance or the ``REPRO_CACHE_DIR`` environment knob).
         self.cache = cache if cache is not None else ChunkCache.from_env()
+        #: Crash-safe run ledger (see ``runtime.journal``); opt-in like
+        #: the cache (an explicit instance or ``REPRO_JOURNAL_DIR``).
+        #: Completed chunks are always recorded; journaled spans are only
+        #: *replayed* when the journal was opened with ``resume=True``.
+        self.journal = journal if journal is not None else RunJournal.from_env()
         #: Execution engine policy (``auto``/``reference``/``vectorized``)
         #: — distinct from the venue (``self.backend``): the venue says
         #: *where* chunks run, the execution backend says *what* computes
@@ -201,7 +218,7 @@ class BatchRunner:
         engines = {
             c.engine
             for c in log.chunks
-            if c.outcome != "cancelled" and c.engine != "cache"
+            if c.outcome != "cancelled" and c.engine not in ("cache", "journal")
         }
         if not log.vectorized_runs:
             execution_backend = "reference"
@@ -224,6 +241,12 @@ class BatchRunner:
             serial_replays=log.serial_replays,
             cancelled_chunks=log.cancelled,
             worker_deaths=log.worker_deaths,
+            journal_replayed_chunks=log.journal_replayed,
+            journal_appended_chunks=log.journal_appends,
+            journal_corrupt_records=log.journal_corrupt,
+            journal_stale_records=log.journal_stale,
+            cache_corrupt_entries=log.cache_corrupt,
+            cache_write_errors=log.cache_write_errors,
             setup_s=log.setup_s,
             execute_s=log.execute_s,
             classify_s=log.classify_s,
@@ -237,6 +260,29 @@ class BatchRunner:
             chunks=tuple(log.chunks),
         )
         self.stats_history.append(self.last_stats)
+
+    def _journal_fetch(self, task, ti, start, stop, log: BatchLog):
+        """Look one span up in the run ledger; drain quarantine counts.
+
+        Does *not* log a chunk record — the caller logs the span as
+        ``"journaled"`` only when it actually consumes the partial, so
+        spans dropped by early stopping or an interrupt are accounted
+        identically whether or not a journal record existed for them.
+        """
+        if self.journal is None:
+            return False, None
+        hit, part = self.journal.fetch(task, ti, start, stop)
+        drained = self.journal.drain_new_counts()
+        log.journal_corrupt += drained["corrupt"]
+        log.journal_stale += drained["stale"]
+        return hit, part
+
+    def _journal_record(self, task, ti, start, stop, part, log: BatchLog) -> None:
+        """Durably append one computed span to the run ledger."""
+        if self.journal is None:
+            return
+        if self.journal.record(task, ti, start, stop, part):
+            log.journal_appends += 1
 
     def _serial_chunk(self, task, ti, start, stop, log: BatchLog):
         """In-process chunk execution with the full retry ladder.
@@ -292,12 +338,19 @@ class SerialRunner(BatchRunner):
     jobs = 1
 
     def _spans_for(self, task, early_stop) -> List[tuple]:
-        if early_stop is None and self.cache is None and self.chunk_size is None:
+        if (
+            early_stop is None
+            and self.cache is None
+            and self.journal is None
+            and self.chunk_size is None
+        ):
             # Single sweep: identical result, no merge overhead.  (A
             # cache forces planned chunks so serial and pool batches
-            # store/fetch identical chunk spans; an explicit chunk_size
-            # does too, so the two venues account interrupts over the
-            # same span set.)
+            # store/fetch identical chunk spans; a journal does too —
+            # resume must find the exact spans the interrupted run
+            # recorded, whichever venue wrote them; an explicit
+            # chunk_size likewise, so the venues account interrupts over
+            # the same span set.)
             return [(0, task.n_runs)]
         return self._plan(task)
 
@@ -321,7 +374,12 @@ class SerialRunner(BatchRunner):
                         log.chunk(ti, start, stop, 0, "cancelled", "serial", 0.0)
                         handled.add((ti, start, stop))
                         continue
-                    part = self._serial_chunk(task, ti, start, stop, log)
+                    hit, part = self._journal_fetch(task, ti, start, stop, log)
+                    if hit:
+                        log.chunk(ti, start, stop, 0, "journaled", "serial", 0.0)
+                    else:
+                        part = self._serial_chunk(task, ti, start, stop, log)
+                        self._journal_record(task, ti, start, stop, part, log)
                     handled.add((ti, start, stop))
                     value = part if value is None else merge_partials(value, part)
                     if early_stop is not None and early_stop.should_stop(value):
@@ -421,10 +479,11 @@ class ProcessPoolRunner(BatchRunner):
         fault: Optional[FaultSpec] = None,
         cache: Optional[ChunkCache] = None,
         backend: Optional[str] = None,
+        journal: Optional[RunJournal] = None,
     ):
         super().__init__(
             chunk_size=chunk_size, retry=retry, fault=fault, cache=cache,
-            backend=backend,
+            backend=backend, journal=journal,
         )
         if jobs < 1:
             raise ValueError("ProcessPoolRunner needs at least one worker")
@@ -442,7 +501,7 @@ class ProcessPoolRunner(BatchRunner):
             serial = SerialRunner(
                 chunk_size=self.chunk_size, retry=self.retry,
                 fault=self.fault, cache=self.cache,
-                backend=self.exec_backend,
+                backend=self.exec_backend, journal=self.journal,
             )
             try:
                 return serial.run(tasks, early_stop=early_stop)
@@ -471,9 +530,28 @@ class ProcessPoolRunner(BatchRunner):
         submitted: List[List[tuple]] = []
         handled: set = set()
         try:
+            # Journaled spans are resolved parent-side before anything is
+            # submitted: a resumed span never occupies a pool slot, and
+            # every remaining span enters the pool exactly as before.
+            journaled: dict = {}
+            if self.journal is not None:
+                for ti, plan in enumerate(plans):
+                    for start, stop in plan:
+                        hit, part = self._journal_fetch(
+                            tasks[ti], ti, start, stop, log
+                        )
+                        if hit:
+                            journaled[(ti, start, stop)] = part
             submitted = [
                 [
-                    (span, pool.submit(_worker_run_chunk, ti, span[0], span[1], 0, self.fault))
+                    (
+                        span,
+                        None
+                        if (ti, span[0], span[1]) in journaled
+                        else pool.submit(
+                            _worker_run_chunk, ti, span[0], span[1], 0, self.fault
+                        ),
+                    )
                     for span in plan
                 ]
                 for ti, plan in enumerate(plans)
@@ -483,13 +561,22 @@ class ProcessPoolRunner(BatchRunner):
                 stopped = False
                 for (start, stop), future in chunk_futures:
                     if stopped:
-                        future.cancel()
+                        if future is not None:
+                            future.cancel()
                         log.chunk(ti, start, stop, 0, "cancelled", "pool", 0.0)
                         handled.add((ti, start, stop))
                         continue
-                    part = self._chunk_result(
-                        tasks[ti], ti, start, stop, future, log
-                    )
+                    if future is None:
+                        # Replayed from the ledger; logged at consumption
+                        # time so early-stop/interrupt accounting matches
+                        # the serial venue span for span.
+                        part = journaled[(ti, start, stop)]
+                        log.chunk(ti, start, stop, 0, "journaled", "pool", 0.0)
+                    else:
+                        part = self._chunk_result(
+                            tasks[ti], ti, start, stop, future, log
+                        )
+                        self._journal_record(tasks[ti], ti, start, stop, part, log)
                     handled.add((ti, start, stop))
                     value = part if value is None else merge_partials(value, part)
                     if early_stop is not None and early_stop.should_stop(value):
@@ -506,7 +593,8 @@ class ProcessPoolRunner(BatchRunner):
             # orphan sibling futures or leave last_stats unset.
             for ti, chunk_futures in enumerate(submitted):
                 for (start, stop), future in chunk_futures:
-                    future.cancel()
+                    if future is not None:
+                        future.cancel()
                     if (
                         interrupted is not None
                         and (ti, start, stop) not in handled

@@ -21,7 +21,7 @@ from typing import List, Optional, Tuple
 from ..core.utility import EventCounts
 
 #: Valid ``ChunkStats.outcome`` values.
-CHUNK_OUTCOMES = ("ok", "retried", "replayed", "cancelled")
+CHUNK_OUTCOMES = ("ok", "retried", "replayed", "cancelled", "journaled")
 
 
 @dataclass(frozen=True)
@@ -32,8 +32,10 @@ class ChunkStats:
     one (1 = clean first try).  ``outcome`` is ``"ok"`` for a clean first
     attempt, ``"retried"`` when at least one retry was needed,
     ``"replayed"`` when the chunk exhausted its retries and completed via
-    trusted in-process serial replay, and ``"cancelled"`` when adaptive
-    early stopping dropped the chunk before it was consumed.
+    trusted in-process serial replay, ``"cancelled"`` when adaptive
+    early stopping dropped the chunk before it was consumed, and
+    ``"journaled"`` when a resumed batch replayed the partial from the
+    crash-safe run ledger instead of recomputing it.
     ``wall_clock_s`` is parent-observed (for pool chunks it includes any
     queue wait and retry backoff).
 
@@ -49,7 +51,8 @@ class ChunkStats:
     ``"distributed"``); ``engine`` names the execution engine that
     computed the partial — ``"reference"`` for the state machine,
     ``"vectorized"`` for a NumPy kernel, ``"cache"`` when the partial
-    was served from disk and no engine ran at all.  ``worker`` is the
+    was served from disk, ``"journal"`` when a resume replayed it from
+    the run ledger, and in both of those cases no engine ran at all.  ``worker`` is the
     distributed venue's per-host attribution (the remote worker id that
     produced the partial; empty for in-process chunks), so a slow or
     flaky host is traceable from the exported stats.
@@ -109,6 +112,18 @@ class RunStats:
     #: Distributed venue only: workers that died mid-batch (EOF, stale
     #: heartbeat, send failure) and had their chunks reassigned.
     worker_deaths: int = 0
+    #: Crash-safe run-ledger traffic (see ``runtime.journal``): spans
+    #: replayed from the journal on a resume, spans durably appended by
+    #: this batch, and records quarantined as corrupt (bad checksum /
+    #: undecodable) or stale (span matches, content fingerprint does not).
+    journal_replayed_chunks: int = 0
+    journal_appended_chunks: int = 0
+    journal_corrupt_records: int = 0
+    journal_stale_records: int = 0
+    #: Chunk-cache integrity: entries quarantined on checksum mismatch
+    #: (each also counts as a miss) and store attempts that failed.
+    cache_corrupt_entries: int = 0
+    cache_write_errors: int = 0
     setup_s: float = 0.0
     execute_s: float = 0.0
     classify_s: float = 0.0
@@ -165,6 +180,12 @@ class RunStats:
                 f" [chunk cache: {self.cache_hits} hits, "
                 f"{self.cache_misses} misses]"
             )
+        if self.journal_replayed_chunks or self.journal_corrupt_records:
+            text += (
+                f" [journal: {self.journal_replayed_chunks} replayed, "
+                f"{self.journal_corrupt_records} corrupt, "
+                f"{self.journal_stale_records} stale]"
+            )
         return text
 
 
@@ -185,6 +206,12 @@ class BatchLog:
         self.serial_replays = 0
         self.cancelled = 0
         self.worker_deaths = 0
+        self.journal_replayed = 0
+        self.journal_appends = 0
+        self.journal_corrupt = 0
+        self.journal_stale = 0
+        self.cache_corrupt = 0
+        self.cache_write_errors = 0
         self.setup_s = 0.0
         self.execute_s = 0.0
         self.classify_s = 0.0
@@ -223,7 +250,9 @@ class BatchLog:
             cache_state = "hit"
         elif inst.get("cache_stores"):
             cache_state = "stored"
-        if cache_state == "hit":
+        if outcome == "journaled":
+            engine = "journal"
+        elif cache_state == "hit":
             engine = "cache"
         elif inst.get("vectorized_runs"):
             engine = "vectorized"
@@ -254,6 +283,8 @@ class BatchLog:
         self.cache_hits += inst.get("cache_hits", 0)
         self.cache_misses += inst.get("cache_misses", 0)
         self.cache_stores += inst.get("cache_stores", 0)
+        self.cache_corrupt += inst.get("cache_corrupt", 0)
+        self.cache_write_errors += inst.get("cache_write_errors", 0)
         self.vectorized_runs += inst.get("vectorized_runs", 0)
         if outcome == "cancelled":
             self.cancelled += 1
@@ -262,6 +293,8 @@ class BatchLog:
             self.executions += stop - start
             if outcome == "replayed":
                 self.serial_replays += 1
+            elif outcome == "journaled":
+                self.journal_replayed += 1
 
 
 class MeasuredCounts(EventCounts):

@@ -116,6 +116,21 @@ class VerificationReport:
         """
         return 0 if self.ok else 1
 
+    def journal_summary(self) -> dict:
+        """Aggregated run-ledger traffic across every claim's batches.
+
+        All zeros when no journal was configured; on a resume the
+        ``replayed`` count is how much recomputation the ledger saved.
+        """
+        totals = {"replayed": 0, "appended": 0, "corrupt": 0, "stale": 0}
+        for check in self.checks:
+            for stats in check.run_stats:
+                totals["replayed"] += stats.journal_replayed_chunks
+                totals["appended"] += stats.journal_appended_chunks
+                totals["corrupt"] += stats.journal_corrupt_records
+                totals["stale"] += stats.journal_stale_records
+        return totals
+
     def __str__(self) -> str:
         lines = [str(check) for check in self.checks]
         summary = self.counts()
@@ -126,6 +141,13 @@ class VerificationReport:
             f"(budget={self.budget}, seed={self.master_seed!r}, "
             f"{self.wall_clock_s:.1f}s)"
         )
+        ledger = self.journal_summary()
+        if any(ledger.values()):
+            lines.append(
+                f"run ledger: {ledger['replayed']} spans replayed, "
+                f"{ledger['appended']} appended, {ledger['corrupt']} "
+                f"corrupt, {ledger['stale']} stale"
+            )
         return "\n".join(lines)
 
 

@@ -203,11 +203,53 @@ class TestChunkCacheCorrectness:
         tasks = _tasks()
         base = SerialRunner().run(tasks)
         SerialRunner(cache=ChunkCache(tmp_path)).run(tasks)
-        for entry in tmp_path.glob("*/*.pkl"):
+        entries = list(tmp_path.glob("*/*.pkl"))
+        assert entries
+        for entry in entries:
             entry.write_bytes(b"not a pickle")
         repaired = SerialRunner(cache=ChunkCache(tmp_path))
         assert repaired.run(tasks) == base
-        assert repaired.last_stats.cache_misses > 0
+        stats = repaired.last_stats
+        # Each damaged entry is detected, counted as corrupt AND a miss,
+        # and quarantined aside so it cannot poison the next lookup.
+        assert stats.cache_corrupt_entries == len(entries)
+        assert stats.cache_misses >= len(entries)
+        assert not list(tmp_path.glob("*/*.pkl")) or all(
+            e.suffix == ".pkl" for e in tmp_path.glob("*/*.pkl")
+        )
+        assert len(list(tmp_path.glob("*/*.corrupt"))) == len(entries)
+
+    def test_bitflip_checksum_mismatch_is_quarantined(self, tmp_path):
+        tasks = _tasks()
+        base = SerialRunner().run(tasks)
+        SerialRunner(cache=ChunkCache(tmp_path)).run(tasks)
+        entry = sorted(tmp_path.glob("*/*.pkl"))[0]
+        blob = bytearray(entry.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # magic stays intact, payload does not
+        entry.write_bytes(bytes(blob))
+        repaired = SerialRunner(cache=ChunkCache(tmp_path))
+        assert repaired.run(tasks) == base
+        stats = repaired.last_stats
+        assert stats.cache_corrupt_entries == 1
+        assert stats.cache_hits > 0  # undamaged entries still serve
+        assert entry.with_suffix(".corrupt").exists()
+
+    def test_write_error_counted(self, tmp_path):
+        # chmod tricks do not bind as root, so make the store path
+        # unusable structurally: the cache root becomes a regular file,
+        # and every entry write then fails with NotADirectoryError.
+        import shutil
+
+        tasks = _tasks()
+        root = tmp_path / "cache"
+        cache = ChunkCache(root)
+        shutil.rmtree(root)
+        root.write_bytes(b"in the way")
+        runner = SerialRunner(cache=cache)
+        base = SerialRunner().run(tasks)
+        assert runner.run(tasks) == base  # the cache may never fail a batch
+        assert runner.last_stats.cache_write_errors > 0
+        assert runner.last_stats.cache_stores == 0
 
     def test_partial_prefix_reuse_across_budgets(self, tmp_path):
         # A longer sweep with the same seed shares its common chunk

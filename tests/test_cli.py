@@ -144,6 +144,97 @@ class TestRuntimeFlags:
         assert args.once
 
 
+class TestJournalFlags:
+    def test_journal_and_resume_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["--journal", "ledger", "--resume", "zoo"])
+        assert args.journal == "ledger"
+        assert args.resume is True
+        args = parser.parse_args(["zoo"])
+        assert args.journal is None
+        assert args.resume is False
+
+    def test_accepted_after_verify_subcommand(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["verify", "--journal", "ledger", "--resume"]
+        )
+        assert args.journal == "ledger"
+        assert args.resume is True
+
+    def test_resume_without_directory_is_a_usage_error(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOURNAL_DIR", raising=False)
+        monkeypatch.delenv("REPRO_RESUME", raising=False)
+        with pytest.raises(SystemExit, match="REPRO_JOURNAL_DIR"):
+            main(["--resume", "zoo"])
+
+    def test_garbage_env_knobs_exit_cleanly(self, monkeypatch):
+        # Satellite contract: every runtime env knob fails as a one-line
+        # usage error naming itself, not a traceback from the runner.
+        for var, raw in [
+            ("REPRO_JOBS", "many"),
+            ("REPRO_RESUME", "maybe"),
+            ("REPRO_WORKERS", "host:99999"),
+            ("REPRO_HEARTBEAT_S", "soon"),
+        ]:
+            monkeypatch.setenv(var, raw)
+            with pytest.raises(SystemExit, match=var):
+                main(["zoo"] if var != "REPRO_HEARTBEAT_S" else
+                     ["--workers", "127.0.0.1:9", "zoo"])
+            monkeypatch.delenv(var)
+
+    def test_cli_journal_records_and_resumes(self, capsys, tmp_path):
+        cold = run_cli(
+            capsys,
+            "--runs", "30", "--journal", str(tmp_path), "attack", "dummy",
+        )
+        assert (tmp_path / "records").is_dir()
+        assert list((tmp_path / "records").glob("*.json"))
+        warm = run_cli(
+            capsys,
+            "--runs", "30", "--journal", str(tmp_path), "--resume",
+            "attack", "dummy",
+        )
+        assert warm == cold
+
+
+class TestChaosCommand:
+    def test_chaos_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["chaos", "--trials", "2", "--venues", "serial",
+             "--trial", "serial:chunk-faults", "--process-trials"]
+        )
+        assert args.command == "chaos"
+        assert args.trials == 2
+        assert args.venues == "serial"
+        assert args.trial == ["serial:chunk-faults"]
+        assert args.process_trials is True
+
+    def test_bad_trial_spec_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit, match="repro chaos"):
+            main(["chaos", "--trials", "0", "--trial", "serial:warp-core"])
+
+    def test_minimal_campaign_runs_and_writes_artifact(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        for var in ("REPRO_JOURNAL_DIR", "REPRO_RESUME", "REPRO_CACHE_DIR"):
+            monkeypatch.delenv(var, raising=False)
+        out_path = tmp_path / "campaign.json"
+        out = run_cli(
+            capsys,
+            "--seed", "cli-chaos", "chaos", "--trials", "0",
+            "--trial", "serial:chunk-faults",
+            "--trial-runs", "24",
+            "--workdir", str(tmp_path / "work"),
+            "--out", str(out_path),
+        )
+        assert "1/1 trials ok" in out
+        artifact = json.loads(out_path.read_text())
+        assert artifact["ok"] is True
+        assert artifact["trials"][0]["spec"]["venue"] == "serial"
+
+
 class TestFaultSensitivityCommand:
     def test_erosion_table_and_artifact(self, capsys, tmp_path):
         out_path = tmp_path / "curve.json"

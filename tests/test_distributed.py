@@ -49,6 +49,7 @@ from repro.runtime import (
     RetryPolicy,
     SerialRunner,
     parse_workers,
+    resolve_heartbeat,
 )
 from repro.runtime.distributed import (
     CodecError,
@@ -295,9 +296,45 @@ class TestParseWorkers:
         with pytest.raises(ValueError):
             parse_workers(bad)
 
+    @pytest.mark.parametrize("bad", ["h1:0", "h1:70000", "h1:-5"])
+    def test_out_of_range_port_names_the_knob(self, bad, monkeypatch):
+        # The error must name REPRO_WORKERS: the value may have come from
+        # the environment, and "bad port" alone is undebuggable there.
+        monkeypatch.setenv("REPRO_WORKERS", bad)
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            parse_workers(None)
+
+    def test_non_integer_port_names_the_knob(self):
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            parse_workers("h1:port")
+
     def test_runner_requires_at_least_one(self):
         with pytest.raises(ValueError):
             DistributedRunner([])
+
+
+class TestHeartbeatResolution:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HEARTBEAT_S", raising=False)
+        assert resolve_heartbeat() == 1.0
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HEARTBEAT_S", "5")
+        assert resolve_heartbeat(0.25) == 0.25
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HEARTBEAT_S", "2.5")
+        assert resolve_heartbeat() == 2.5
+
+    @pytest.mark.parametrize("bad", ["soon", "0", "-1", "nan"])
+    def test_garbage_env_names_the_variable(self, bad, monkeypatch):
+        monkeypatch.setenv("REPRO_HEARTBEAT_S", bad)
+        with pytest.raises(ValueError, match="REPRO_HEARTBEAT_S"):
+            resolve_heartbeat()
+
+    def test_explicit_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_heartbeat(0.0)
 
 
 # -- localhost end-to-end ----------------------------------------------------

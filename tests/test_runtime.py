@@ -339,6 +339,22 @@ class TestJobsResolution:
         with pytest.raises(ValueError):
             resolve_jobs(-2)
 
+    def test_env_garbage_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            resolve_jobs(None)
+
+    def test_env_negative_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "-3")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            resolve_jobs(None)
+
+    def test_env_auto_means_all_cpus(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_JOBS", "auto")
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+
 
 class TestRunStats:
     def test_run_batch_attaches_stats(self):
