@@ -1,0 +1,189 @@
+"""Cost-aware scheduler — uniform vs. cost chunk plans on the pool.
+
+One deliberately heterogeneous sweep — the Gordon–Katz 1/p=4 protocol
+under a passive adversary (~484 cost units/run, reference engine only)
+next to cheap vectorizable workloads (~7–31 units/run) — executed twice
+on the same :class:`ProcessPoolRunner`:
+
+1. **uniform** — every task chunked by ``default_chunk_size`` alone
+   (``--schedule uniform``), so the expensive task's chunks are as
+   coarse as the cheap ones' and the batch's makespan is hostage to
+   whichever worker drew the last Gordon–Katz chunk.
+2. **cost** — chunk sizes scaled by the symbolic cost models and
+   predicted-expensive chunks dispatched first (``--schedule cost``).
+
+Bit-identity is asserted unconditionally: chunking is
+composition-invariant, so both passes must produce byte-identical event
+counts.  The wall-clock verdict — cost ≥ 1.2× uniform — is asserted
+only at the ``large`` budget on a machine with ≥ 4 CPUs; with fewer
+cores there is no load to balance, so the numbers are recorded
+report-only.  Results are written to ``BENCH_scheduler.json`` at the
+repo root.
+
+Runnable standalone (``python benchmarks/bench_scheduler.py [--budget
+small|large]``, default large) or under pytest (budget from
+``REPRO_BENCH_BUDGET``, default small).
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.adversaries import (
+    KnownOutputStopper,
+    LockWatchingAborter,
+    PassiveAdversary,
+    fixed,
+)
+from repro.functions import make_and
+from repro.protocols import (
+    GordonKatzProtocol,
+    GradualReleaseProtocol,
+    SingleRoundProtocol,
+)
+from repro.runtime import ExecutionTask, ProcessPoolRunner
+from repro.verify.claims import constant_inputs
+
+SPEEDUP_FLOOR = 1.2
+#: Below this the pool has no imbalance worth scheduling around.
+MIN_ASSERT_CPUS = 4
+
+#: Runs per workload at the ``large`` budget; ``small`` divides by 8.
+LARGE_RUNS = {
+    "gordon-katz-p4-passive": 320,
+    "gordon-katz-p2-stopper": 960,
+    "single-round": 960,
+    "gradual-release": 960,
+}
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_scheduler.json"
+
+
+def _workloads(scale: int):
+    passive = fixed("passive", lambda: PassiveAdversary())
+    known = fixed(
+        "known-output", lambda: KnownOutputStopper(0, known_output=1)
+    )
+    lock0 = fixed("lock-watch[0]", lambda: LockWatchingAborter({0}))
+    sampler = constant_inputs((1, 1))
+    protos = {
+        # The heavy tail: passive play runs all 162 rounds and has no
+        # vectorized kernel, so each run costs ~35-70x the cheap tasks'.
+        "gordon-katz-p4-passive": (
+            GordonKatzProtocol(make_and(), p=4), passive
+        ),
+        "gordon-katz-p2-stopper": (GordonKatzProtocol(make_and(), p=2), known),
+        "single-round": (SingleRoundProtocol(make_and()), lock0),
+        "gradual-release": (GradualReleaseProtocol(make_and()), lock0),
+    }
+    return [
+        (
+            name,
+            ExecutionTask(
+                protocol,
+                factory,
+                max(1, LARGE_RUNS[name] // scale),
+                seed=("bench-scheduler", name),
+                input_sampler=sampler,
+            ),
+        )
+        for name, (protocol, factory) in protos.items()
+    ]
+
+
+def _sweep(schedule: str, scale: int, jobs: int):
+    runner = ProcessPoolRunner(jobs, cache=None, schedule=schedule)
+    tasks = [task for _, task in _workloads(scale)]
+    t0 = time.perf_counter()
+    results = runner.run(tasks)
+    wall = time.perf_counter() - t0
+    stats = runner.last_stats
+    return results, wall, stats
+
+
+def run_benchmark(budget: str = "large"):
+    if budget not in ("small", "large"):
+        raise SystemExit(f"unknown budget {budget!r}; use small or large")
+    scale = 1 if budget == "large" else 8
+    cpus = os.cpu_count() or 1
+    jobs = max(2, cpus)
+
+    names = [name for name, _ in _workloads(scale)]
+    uni_results, uni_s, uni_stats = _sweep("uniform", scale, jobs)
+    cost_results, cost_s, cost_stats = _sweep("cost", scale, jobs)
+
+    # Bit-identity is the scheduler's contract — asserted at every
+    # budget: chunk plans change, merged event counts must not.
+    total_runs = 0
+    for name, uni, cost in zip(names, uni_results, cost_results):
+        assert uni.counts == cost.counts, f"{name}: event counts diverged"
+        assert uni.corruption_counts == cost.corruption_counts, (
+            f"{name}: corruption counts diverged"
+        )
+        total_runs += uni.total
+
+    speedup = uni_s / max(cost_s, 1e-9)
+    asserted = budget == "large" and cpus >= MIN_ASSERT_CPUS
+    payload = {
+        "workload": {
+            "runs": {
+                name: max(1, LARGE_RUNS[name] // scale)
+                for name in LARGE_RUNS
+            },
+            "total_runs": total_runs,
+        },
+        "budget": budget,
+        "cpus": cpus,
+        "jobs": jobs,
+        "passes": {
+            "uniform": {
+                "wall_s": round(uni_s, 4),
+                "n_chunks": uni_stats.n_chunks,
+                "backend": uni_stats.backend,
+            },
+            "cost": {
+                "wall_s": round(cost_s, 4),
+                "n_chunks": cost_stats.n_chunks,
+                "backend": cost_stats.backend,
+            },
+        },
+        "speedup_cost_vs_uniform": round(speedup, 3),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "min_assert_cpus": MIN_ASSERT_CPUS,
+        "asserted": asserted,
+        "bit_identical": True,
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    if asserted:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"cost schedule only {speedup:.2f}x vs uniform "
+            f"(floor {SPEEDUP_FLOOR}x at budget=large, {cpus} cpus)"
+        )
+    return payload
+
+
+def test_scheduler_speedup(capsys):
+    budget = os.environ.get("REPRO_BENCH_BUDGET", "small")
+    payload = run_benchmark(budget)
+    with capsys.disabled():
+        print(
+            "\ncost vs uniform schedule: "
+            f"{payload['speedup_cost_vs_uniform']}x "
+            f"(budget={payload['budget']}, cpus={payload['cpus']}, "
+            f"asserted={payload['asserted']})"
+        )
+
+
+if __name__ == "__main__":
+    budget = "large"
+    argv = sys.argv[1:]
+    if argv[:1] == ["--budget"] and len(argv) > 1:
+        budget = argv[1]
+    elif argv and argv[0].startswith("--budget="):
+        budget = argv[0].split("=", 1)[1]
+    print(json.dumps(run_benchmark(budget), indent=2, sort_keys=True))

@@ -147,6 +147,8 @@ def run_benchmark(budget: str = "large"):
             },
         },
         "speedup_vectorized_vs_reference": round(speedup, 3),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "floor_met": speedup >= SPEEDUP_FLOOR,
         "asserted": asserted,
         "bit_identical": True,
     }

@@ -121,6 +121,7 @@ def chunk_stats_to_dict(chunk: ChunkStats) -> dict:
         "cache": chunk.cache,
         "engine": chunk.engine,
         "worker": chunk.worker,
+        "predicted_cost": chunk.predicted_cost,
     }
 
 
@@ -158,6 +159,7 @@ def run_stats_to_dict(stats: RunStats) -> dict:
         "cache_stores": stats.cache_stores,
         "execution_backend": stats.execution_backend,
         "vectorized_runs": stats.vectorized_runs,
+        "schedule": stats.schedule,
         "chunks": [chunk_stats_to_dict(c) for c in stats.chunks],
     }
 

@@ -1,0 +1,295 @@
+"""Symbolic per-protocol cost models: closed forms for transcript costs.
+
+``analysis.complexity`` *measures* what a protocol spends — rounds,
+point-to-point messages, broadcasts, functionality responses — by
+running honest executions and counting transcript entries.  This module
+states the same quantities as **closed forms**: per-protocol sympy
+expressions in the symbols of the paper's cost analysis (party count
+``n``, release bit-length ``B``, the Gordon–Katz reveal-round parameter
+``R`` = ``gk_round_count(p, m)``), bound to a concrete protocol instance
+by :func:`evaluate`.
+
+The models are used two ways:
+
+* **verification** — claim family E21 asserts that
+  :func:`~repro.analysis.complexity.measure_cost` matches these
+  predictions *exactly* (equality, zero tolerance): the engine's honest
+  executions spend precisely the rounds and messages the paper's
+  protocol descriptions say they do, and
+
+* **scheduling** — the batch runtime's cost-aware chunk planner
+  (``--schedule cost``) uses :attr:`PredictedCost.weight` as a per-run
+  cost proxy, sizing chunks so predicted per-chunk cost is equalized
+  across heterogeneous sweeps and dispatching the most expensive chunks
+  first (LPT).
+
+sympy is a guarded dependency, exactly like numpy for the vectorized
+backend: when it is installed the closed forms are genuine sympy
+expressions (inspectable, printable, substitutable); when it is absent
+the same formulas evaluate through plain integer arithmetic, so
+:func:`evaluate` — and therefore the E21 claims and the scheduler —
+work identically either way.  Each formula is written once, as a Python
+callable that accepts either ints or sympy symbols.
+
+Honest-execution counting semantics (``measure_cost``): a transcript
+entry with a string sender is a functionality response, one with the
+broadcast flag is a single broadcast (however many parties receive it),
+anything else is one point-to-point message.  ``rounds_used`` is the
+engine's round count through the round in which every honest party
+produced output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+try:  # pragma: no cover - exercised implicitly by the fallback tests
+    import sympy
+
+    HAVE_SYMPY = True
+except ImportError:  # pragma: no cover
+    sympy = None
+    HAVE_SYMPY = False
+
+#: Symbol glossary (docs/architecture.md "Cost models and scheduling").
+SYMBOLS: Dict[str, str] = {
+    "n": "number of parties",
+    "B": "gradual-release bit length (RELEASE_BITS)",
+    "R": "Gordon-Katz reveal rounds: 20*p*|Y| (domain variant) or "
+         "20*p^2*|Z| (range variant) -- analysis.analytic.gk_round_count",
+    "p": "Gordon-Katz 1/p-unfairness parameter",
+    "m": "codomain size |Y| (domain variant) / range size |Z| (range)",
+}
+
+
+@dataclass(frozen=True)
+class PredictedCost:
+    """A protocol's predicted per-honest-execution transcript costs.
+
+    Field-for-field comparable with
+    :class:`~repro.analysis.complexity.ProtocolCost` (the measured
+    side); all values are exact integers — honest executions are
+    deterministic in these quantities, whatever the inputs.
+    """
+
+    protocol_name: str
+    rounds: int
+    point_to_point_messages: int
+    broadcasts: int
+    functionality_responses: int
+
+    @property
+    def total_messages(self) -> int:
+        return (
+            self.point_to_point_messages
+            + self.broadcasts
+            + self.functionality_responses
+        )
+
+    @property
+    def weight(self) -> float:
+        """Scalar per-run cost proxy for the cost-aware scheduler.
+
+        Rounds plus total transcript traffic: both engine-loop
+        iterations and per-message bookkeeping cost wall-clock, and the
+        sum tracks the measured per-run times across the protocol zoo
+        well enough to equalize chunk costs (the scheduler only needs
+        relative magnitudes, not milliseconds).
+        """
+        return float(self.rounds + self.total_messages)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """One protocol family's closed forms plus its symbol binder.
+
+    The four formula callables are polynomial in their parameters and
+    accept ints *or* sympy symbols — call them with symbols (see
+    :func:`symbolic`) to get the closed-form expression, with the
+    bound integers (see :func:`evaluate`) to get a prediction.
+    ``bind`` extracts the parameter values from a live protocol
+    instance (e.g. ``R`` from ``GordonKatzProtocol.reveal_rounds``).
+    """
+
+    family: str
+    params: Tuple[str, ...]
+    rounds: Callable
+    point_to_point: Callable
+    broadcasts: Callable
+    functionality: Callable
+    bind: Callable
+
+
+def _release_bits(protocol) -> dict:
+    from ..protocols.gradual_release import RELEASE_BITS
+
+    return {"B": getattr(protocol, "release_bits", RELEASE_BITS)}
+
+
+#: The registry, keyed by protocol class name (subclasses inherit their
+#: base's model via the MRO walk in :func:`model_for`).
+_MODELS: Dict[str, CostModel] = {
+    # ShareGen round + commit round + two reveal rounds; each party
+    # sends one share reveal; both parties call ShareGen.
+    "Opt2SfeProtocol": CostModel(
+        family="Opt2SfeProtocol", params=(),
+        rounds=lambda: 4, point_to_point=lambda: 2,
+        broadcasts=lambda: 0, functionality=lambda: 2,
+        bind=lambda protocol: {},
+    ),
+    # One functionality round, one exchange round, one output round.
+    "SingleRoundProtocol": CostModel(
+        family="SingleRoundProtocol", params=(),
+        rounds=lambda: 3, point_to_point=lambda: 2,
+        broadcasts=lambda: 0, functionality=lambda: 2,
+        bind=lambda protocol: {},
+    ),
+    # B bit-release rounds after setup: each releases one bit per
+    # party (2B messages) on top of the initial share exchange (2).
+    "GradualReleaseProtocol": CostModel(
+        family="GradualReleaseProtocol", params=("B",),
+        rounds=lambda B: B + 3, point_to_point=lambda B: 2 * B + 2,
+        broadcasts=lambda B: 0, functionality=lambda B: 2,
+        bind=_release_bits,
+    ),
+    # R reveal rounds (Theorems 23/24: R = 20*p*|Y| domain,
+    # 20*p^2*|Z| range), two token messages per reveal round, plus the
+    # ShareGen round and the output round.
+    "GordonKatzProtocol": CostModel(
+        family="GordonKatzProtocol", params=("R",),
+        rounds=lambda R: R + 2, point_to_point=lambda R: 2 * R,
+        broadcasts=lambda R: 0, functionality=lambda R: 2,
+        bind=lambda protocol: {"R": protocol.reveal_rounds},
+    ),
+    # All n parties call ShareGen, then each broadcasts its share.
+    "OptNSfeProtocol": CostModel(
+        family="OptNSfeProtocol", params=("n",),
+        rounds=lambda n: 3, point_to_point=lambda n: 0,
+        broadcasts=lambda n: n, functionality=lambda n: n,
+        bind=lambda protocol: {"n": protocol.n_parties},
+    ),
+    # Same shape: the VSS output dealer answers every party, then each
+    # broadcasts its (threshold-shared) output share.
+    "ThresholdGmwProtocol": CostModel(
+        family="ThresholdGmwProtocol", params=("n",),
+        rounds=lambda n: 3, point_to_point=lambda n: 0,
+        broadcasts=lambda n: n, functionality=lambda n: n,
+        bind=lambda protocol: {"n": protocol.n_parties},
+    ),
+}
+
+
+def covered_families() -> Tuple[str, ...]:
+    """The protocol class names with a registered cost model."""
+    return tuple(_MODELS)
+
+
+def model_for(protocol) -> Optional[CostModel]:
+    """The cost model covering this protocol instance, or ``None``.
+
+    Resolution walks the class MRO so protocol subclasses inherit the
+    base family's closed forms.
+    """
+    for cls in type(protocol).__mro__:
+        model = _MODELS.get(cls.__name__)
+        if model is not None:
+            return model
+    return None
+
+
+def covered(protocol) -> bool:
+    return model_for(protocol) is not None
+
+
+def _quantities(model: CostModel, binding: dict) -> Tuple[int, int, int, int]:
+    args = [binding[name] for name in model.params]
+    return (
+        int(model.rounds(*args)),
+        int(model.point_to_point(*args)),
+        int(model.broadcasts(*args)),
+        int(model.functionality(*args)),
+    )
+
+
+def symbolic(model: CostModel) -> Dict[str, "sympy.Expr"]:
+    """The model's closed forms as sympy expressions.
+
+    Returns ``{"rounds": ..., "point_to_point_messages": ...,
+    "broadcasts": ..., "functionality_responses": ...}`` over positive
+    integer symbols named by ``model.params``.  Requires sympy.
+    """
+    if not HAVE_SYMPY:
+        raise RuntimeError(
+            "sympy is not installed; symbolic() needs it (evaluate() "
+            "works without sympy through the integer fallback)"
+        )
+    syms = {
+        name: sympy.Symbol(name, positive=True, integer=True)
+        for name in model.params
+    }
+    args = [syms[name] for name in model.params]
+    return {
+        "rounds": sympy.sympify(model.rounds(*args)),
+        "point_to_point_messages": sympy.sympify(model.point_to_point(*args)),
+        "broadcasts": sympy.sympify(model.broadcasts(*args)),
+        "functionality_responses": sympy.sympify(model.functionality(*args)),
+    }
+
+
+def gk_reveal_rounds_symbolic(variant: str = "domain") -> "sympy.Expr":
+    """The Gordon–Katz round parameter ``R`` itself as a closed form.
+
+    ``R = 20·p·m`` for the domain variant, ``20·p²·m`` for the range
+    variant (``m`` the codomain/range size) — the Theorem 23/24 shapes
+    with the explicit e⁻²⁰ truncation margin used throughout
+    (``analysis.analytic.gk_round_count``).  Requires sympy.
+    """
+    if not HAVE_SYMPY:
+        raise RuntimeError("sympy is not installed")
+    p = sympy.Symbol("p", positive=True, integer=True)
+    m = sympy.Symbol("m", positive=True, integer=True)
+    if variant == "domain":
+        return 20 * p * m
+    if variant == "range":
+        return 20 * p ** 2 * m
+    raise ValueError(f"variant must be 'domain' or 'range', got {variant!r}")
+
+
+def evaluate(protocol) -> PredictedCost:
+    """Bind a concrete protocol instance into its model's closed forms.
+
+    With sympy installed the prediction is computed by substituting the
+    bound parameter values into the symbolic expressions; without it,
+    by the same formulas over plain integers — bit-identical results
+    either way (asserted by the test suite).  Raises ``ValueError`` for
+    a protocol with no registered model.
+    """
+    model = model_for(protocol)
+    if model is None:
+        raise ValueError(
+            f"no symbolic cost model for {type(protocol).__name__}; "
+            f"covered families: {', '.join(covered_families())}"
+        )
+    binding = model.bind(protocol)
+    if HAVE_SYMPY:
+        exprs = symbolic(model)
+        subs = {
+            sympy.Symbol(name, positive=True, integer=True): value
+            for name, value in binding.items()
+        }
+        rounds, p2p, broadcast, func = (
+            int(exprs["rounds"].subs(subs)),
+            int(exprs["point_to_point_messages"].subs(subs)),
+            int(exprs["broadcasts"].subs(subs)),
+            int(exprs["functionality_responses"].subs(subs)),
+        )
+    else:
+        rounds, p2p, broadcast, func = _quantities(model, binding)
+    return PredictedCost(
+        protocol_name=protocol.name,
+        rounds=rounds,
+        point_to_point_messages=p2p,
+        broadcasts=broadcast,
+        functionality_responses=func,
+    )

@@ -10,7 +10,7 @@ Commands
 ``curve``          per-t utility curves for two protocols + crossover
 ``fault-sensitivity`` utility-erosion curve under engine fault injection
 ``profile``        cProfile a small batch and print the top hotspots
-``verify``         check the registered paper claims (E1–E20) and exit
+``verify``         check the registered paper claims (E1–E21) and exit
                    0 (all ok) / 1 (violated) / 2 (bad claim spec)
 ``worker``         serve chunk executions to a distributed coordinator
                    (``repro worker --listen HOST:PORT``)
@@ -45,7 +45,14 @@ hands eligible (protocol, strategy) chunks to the NumPy vectorized
 backend and falls back to the reference state machine per task,
 ``reference`` forces the state machine, ``vectorized`` asserts
 eligibility and fails loudly on any non-vectorizable task — all three
-produce bit-identical results.
+produce bit-identical results.  ``--schedule`` (or ``REPRO_SCHEDULE``)
+selects the chunk planner: ``uniform`` (default) sizes every chunk
+identically, ``cost`` sizes chunks from the symbolic cost models
+(``analysis.symbolic_cost``) so predicted per-chunk cost is equalized
+across heterogeneous sweeps and dispatches the most expensive chunks
+first — same results, better slot utilization.  ``--chunk-size`` (or
+``REPRO_CHUNK_SIZE``) pins the uniform chunk size (the cost planner's
+reference size) instead of deriving it from ``--runs``.
 """
 
 from __future__ import annotations
@@ -235,6 +242,25 @@ def build_parser() -> argparse.ArgumentParser:
         "'reference' always steps the state machine",
     )
     parser.add_argument(
+        "--schedule",
+        choices=("uniform", "cost"),
+        default=None,
+        help="chunk-planning mode (default: $REPRO_SCHEDULE or uniform); "
+        "'cost' sizes chunks from the symbolic cost models so predicted "
+        "per-chunk cost is equalized across tasks and dispatches "
+        "predicted-expensive chunks first — results are bit-identical "
+        "to 'uniform'",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="runs per chunk (default: $REPRO_CHUNK_SIZE or derived from "
+        "the run count); under --schedule cost this is the reference "
+        "size the cost planner scales per task",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="dump each batch's RunStats (throughput + retry/degradation "
@@ -371,6 +397,18 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--resume",
         action="store_true",
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+    verify.add_argument(
+        "--schedule",
+        choices=("uniform", "cost"),
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+    verify.add_argument(
+        "--chunk-size",
+        type=int,
         default=argparse.SUPPRESS,
         help=argparse.SUPPRESS,
     )
@@ -704,7 +742,61 @@ def cmd_profile(args, registry) -> str:
             "all runs used the reference engine — install numpy to "
             "profile the NumPy kernels"
         )
+    lines.append(_cost_model_table(protocol, args.seed))
     return "\n".join(lines)
+
+
+def _cost_model_table(protocol, seed) -> str:
+    """Predicted-vs-measured honest transcript costs for one protocol.
+
+    The prediction side is the symbolic cost model
+    (``analysis.symbolic_cost.evaluate``); the measured side is an
+    8-run honest-execution average (``analysis.measure_cost``).  Any
+    nonzero error column is a model/engine drift the E21 claims would
+    flag — this table makes it visible without running ``repro verify``.
+    """
+    from .analysis import measure_cost
+    from .analysis.symbolic_cost import evaluate, model_for
+
+    model = model_for(protocol)
+    if model is None:
+        return (
+            f"cost model: none registered for {type(protocol).__name__} — "
+            "predicted-vs-measured table skipped (cost scheduling treats "
+            "this protocol as unmodelled and keeps uniform chunks)"
+        )
+    predicted = evaluate(protocol)
+    measured = measure_cost(protocol, n_runs=8, seed=(seed, "cost-model"))
+    pairs = [
+        ("rounds", predicted.rounds, measured.rounds),
+        (
+            "p2p messages",
+            predicted.point_to_point_messages,
+            measured.point_to_point_messages,
+        ),
+        ("broadcasts", predicted.broadcasts, measured.broadcasts),
+        (
+            "functionality responses",
+            predicted.functionality_responses,
+            measured.functionality_responses,
+        ),
+    ]
+    rows = [
+        [quantity, pred, f"{meas:g}", f"{meas - pred:+g}"]
+        for quantity, pred, meas in pairs
+    ]
+    return "\n".join(
+        [
+            format_table(
+                ["honest cost", "predicted", "measured", "error"], rows
+            ),
+            (
+                f"scheduler weight: {predicted.weight:g} cost units/run "
+                f"(family {model.family}; 'cost' schedule sizes chunks "
+                f"by this)"
+            ),
+        ]
+    )
 
 
 def cmd_verify(args, registry):
@@ -821,11 +913,13 @@ def _build_runner(args):
         journal = resolve_journal(args.journal, resume=args.resume)
         return resolve_runner(
             args.jobs,
+            chunk_size=args.chunk_size,
             retry=retry,
             cache=resolve_cache(args.cache),
             backend=args.backend,
             workers=args.workers,
             journal=journal,
+            schedule=args.schedule,
         )
     except ValueError as exc:
         raise SystemExit(f"repro: {exc}")

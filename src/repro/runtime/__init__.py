@@ -41,13 +41,18 @@ from .retry import (
     run_task_chunk,
 )
 from .runner import (
+    ENV_CHUNK_SIZE,
+    ENV_SCHEDULE,
     REPRO_JOBS_ENV,
     SMALL_BATCH_THRESHOLD,
+    VECTORIZED_DISCOUNT,
     BatchRunner,
     ProcessPoolRunner,
     SerialRunner,
+    resolve_chunk_size,
     resolve_jobs,
     resolve_runner,
+    resolve_schedule,
 )
 # (after .runner: the coordinator builds on BatchRunner/SerialRunner)
 from .distributed import (
@@ -66,7 +71,11 @@ from .journal import (
 )
 from .stats import ChunkStats, MeasuredCounts, RunStats
 from .tasks import (
+    COST_CHUNK_GROWTH,
+    COST_UNIT_WEIGHT,
+    SCHEDULES,
     ExecutionTask,
+    cost_chunk_size,
     default_chunk_size,
     merge_partials,
     plan_chunks,
@@ -103,8 +112,17 @@ __all__ = [
     "resolve_jobs",
     "resolve_runner",
     "default_chunk_size",
+    "cost_chunk_size",
     "merge_partials",
     "plan_chunks",
+    "SCHEDULES",
+    "COST_UNIT_WEIGHT",
+    "COST_CHUNK_GROWTH",
+    "VECTORIZED_DISCOUNT",
+    "resolve_schedule",
+    "resolve_chunk_size",
+    "ENV_SCHEDULE",
+    "ENV_CHUNK_SIZE",
     "REPRO_JOBS_ENV",
     "SMALL_BATCH_THRESHOLD",
     "ENV_MAX_RETRIES",

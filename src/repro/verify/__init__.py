@@ -2,7 +2,7 @@
 
 The subsystem has three layers:
 
-* :mod:`.claims` — the declarative registry: each E1–E20 claim as a
+* :mod:`.claims` — the declarative registry: each E1–E21 claim as a
   :class:`Claim` with paper reference, bound kind, closed-form analytic
   side, Monte-Carlo measurement recipe, and explicit tolerance policy;
 * :mod:`.differential` — Wilson/Hoeffding confidence intervals and the

@@ -1,0 +1,346 @@
+"""Symbolic cost models and the cost-aware scheduler.
+
+Covers the three layers of the cost subsystem: the closed forms in
+``analysis/symbolic_cost.py`` (predictions must match ``measure_cost``
+exactly, with and without sympy), the E21 claim family that pins that
+agreement, and the ``schedule="cost"`` runtime mode (bit-identical
+results, deterministic venue-invariant plans, LPT dispatch,
+observability fields, env knobs).
+"""
+
+import os
+
+import pytest
+
+from repro.adversaries import PassiveAdversary, fixed
+from repro.analysis.complexity import measure_cost
+from repro.analysis.export import (
+    chunk_stats_to_dict,
+    run_stats_to_dict,
+)
+from repro.analysis.symbolic_cost import (
+    HAVE_SYMPY,
+    SYMBOLS,
+    PredictedCost,
+    covered,
+    covered_families,
+    evaluate,
+    gk_reveal_rounds_symbolic,
+    model_for,
+    symbolic,
+)
+from repro.functions import make_and, make_concat, make_swap
+from repro.gmw import ThresholdGmwProtocol
+from repro.protocols import (
+    DummyProtocol,
+    GordonKatzProtocol,
+    Opt2SfeProtocol,
+    OptNSfeProtocol,
+    SingleRoundProtocol,
+)
+from repro.protocols.gradual_release import RELEASE_BITS, GradualReleaseProtocol
+from repro.runtime import (
+    ENV_CHUNK_SIZE,
+    ENV_SCHEDULE,
+    ExecutionTask,
+    ProcessPoolRunner,
+    SerialRunner,
+    resolve_chunk_size,
+    resolve_schedule,
+)
+from repro.runtime.distributed import DistributedRunner
+
+
+def _passive():
+    return fixed("passive", lambda: PassiveAdversary())
+
+
+def _zoo():
+    """Every protocol family the cost models cover, as concrete instances."""
+    return [
+        GordonKatzProtocol(make_and(), p=2),
+        GordonKatzProtocol(make_and(), p=4),
+        SingleRoundProtocol(make_and()),
+        GradualReleaseProtocol(make_and()),
+        Opt2SfeProtocol(make_swap(16)),
+        OptNSfeProtocol(make_concat(5, 8)),
+        ThresholdGmwProtocol(make_concat(5, 8)),
+    ]
+
+
+# -- the closed forms --------------------------------------------------------
+
+
+class TestSymbolicModels:
+    def test_predictions_match_measured_costs_exactly(self):
+        # The E21 contract, claim by claim: zero divergence on every
+        # component for every covered family.
+        for protocol in _zoo():
+            predicted = evaluate(protocol)
+            measured = measure_cost(
+                protocol, n_runs=3, seed=("cost-test", protocol.name)
+            )
+            assert predicted.rounds == measured.rounds
+            assert (
+                predicted.point_to_point_messages
+                == measured.point_to_point_messages
+            )
+            assert predicted.broadcasts == measured.broadcasts
+            assert (
+                predicted.functionality_responses
+                == measured.functionality_responses
+            )
+
+    def test_known_closed_forms(self):
+        gk = evaluate(GordonKatzProtocol(make_and(), p=2))
+        R = GordonKatzProtocol(make_and(), p=2).reveal_rounds
+        assert (gk.rounds, gk.point_to_point_messages) == (R + 2, 2 * R)
+        gr = evaluate(GradualReleaseProtocol(make_and()))
+        assert gr.rounds == RELEASE_BITS + 3
+        assert gr.point_to_point_messages == 2 * RELEASE_BITS + 2
+        nsfe = evaluate(OptNSfeProtocol(make_concat(5, 8)))
+        assert (nsfe.broadcasts, nsfe.functionality_responses) == (5, 5)
+
+    def test_weight_is_rounds_plus_traffic(self):
+        cost = PredictedCost("x", 4, 2, 0, 2)
+        assert cost.total_messages == 4
+        assert cost.weight == 8.0
+
+    def test_sympy_and_fallback_paths_agree(self, monkeypatch):
+        if not HAVE_SYMPY:
+            pytest.skip("sympy unavailable; only the fallback path exists")
+        import repro.analysis.symbolic_cost as sc
+
+        with_sympy = [evaluate(p) for p in _zoo()]
+        monkeypatch.setattr(sc, "HAVE_SYMPY", False)
+        without = [sc.evaluate(p) for p in _zoo()]
+        assert with_sympy == without
+
+    @pytest.mark.skipif(not HAVE_SYMPY, reason="needs sympy")
+    def test_symbolic_expressions_substitute(self):
+        import sympy
+
+        model = model_for(GordonKatzProtocol(make_and(), p=2))
+        exprs = symbolic(model)
+        R = sympy.Symbol("R", positive=True, integer=True)
+        assert exprs["rounds"] == R + 2
+        assert exprs["point_to_point_messages"] == 2 * R
+        assert int(exprs["rounds"].subs({R: 80})) == 82
+        # The round parameter's own closed form (Theorems 23/24 shapes).
+        p = sympy.Symbol("p", positive=True, integer=True)
+        m = sympy.Symbol("m", positive=True, integer=True)
+        assert gk_reveal_rounds_symbolic("domain") == 20 * p * m
+        assert gk_reveal_rounds_symbolic("range") == 20 * p ** 2 * m
+        with pytest.raises(ValueError):
+            gk_reveal_rounds_symbolic("bogus")
+
+    def test_every_model_param_is_in_the_glossary(self):
+        for protocol in _zoo():
+            for param in model_for(protocol).params:
+                assert param in SYMBOLS
+
+    def test_uncovered_protocol_raises_with_coverage_list(self):
+        dummy = DummyProtocol(make_swap(8))
+        assert not covered(dummy)
+        assert model_for(dummy) is None
+        with pytest.raises(ValueError, match="covered families"):
+            evaluate(dummy)
+        assert "GordonKatzProtocol" in covered_families()
+
+    def test_subclasses_inherit_their_family_model(self):
+        class TunedSingleRound(SingleRoundProtocol):
+            pass
+
+        tuned = TunedSingleRound(make_and())
+        assert model_for(tuned) is model_for(SingleRoundProtocol(make_and()))
+        assert evaluate(tuned).rounds == 3
+
+
+# -- env knobs ---------------------------------------------------------------
+
+
+class TestScheduleKnobs:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_SCHEDULE, "cost")
+        assert resolve_schedule("uniform") == "uniform"
+        assert resolve_schedule() == "cost"
+        monkeypatch.delenv(ENV_SCHEDULE)
+        assert resolve_schedule() == "uniform"
+
+    def test_env_schedule_validation_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(ENV_SCHEDULE, "fastest")
+        with pytest.raises(ValueError, match="REPRO_SCHEDULE"):
+            resolve_schedule()
+
+    def test_explicit_schedule_validation(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            resolve_schedule("fastest")
+
+    def test_chunk_size_env_mirrors_flag(self, monkeypatch):
+        monkeypatch.setenv(ENV_CHUNK_SIZE, "25")
+        assert resolve_chunk_size() == 25
+        assert resolve_chunk_size(10) == 10
+        monkeypatch.delenv(ENV_CHUNK_SIZE)
+        assert resolve_chunk_size() is None
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "ten", "2.5", "1e3"])
+    def test_env_chunk_size_validation_names_the_variable(
+        self, monkeypatch, bad
+    ):
+        monkeypatch.setenv(ENV_CHUNK_SIZE, bad)
+        with pytest.raises(ValueError, match="REPRO_CHUNK_SIZE"):
+            resolve_chunk_size()
+
+    def test_explicit_chunk_size_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            resolve_chunk_size(0)
+
+    def test_runner_reads_env_knobs(self, monkeypatch):
+        monkeypatch.setenv(ENV_SCHEDULE, "cost")
+        monkeypatch.setenv(ENV_CHUNK_SIZE, "17")
+        runner = SerialRunner()
+        assert runner.schedule == "cost"
+        assert runner.chunk_size == 17
+
+
+# -- the cost schedule at runtime -------------------------------------------
+
+
+def _hetero_tasks(n_runs=120):
+    """A deliberately heterogeneous batch: ~35x per-run cost spread."""
+    return [
+        ExecutionTask(
+            GordonKatzProtocol(make_and(), p=2), _passive(), n_runs,
+            seed=("sched", 0),
+        ),
+        ExecutionTask(
+            SingleRoundProtocol(make_and()), _passive(), n_runs,
+            seed=("sched", 1),
+        ),
+        ExecutionTask(
+            Opt2SfeProtocol(make_swap(16)), _passive(), n_runs,
+            seed=("sched", 2),
+        ),
+    ]
+
+
+class TestCostSchedule:
+    def test_results_identical_across_schedules(self):
+        uniform = SerialRunner(schedule="uniform").run(_hetero_tasks())
+        cost = SerialRunner(schedule="cost").run(_hetero_tasks())
+        assert uniform == cost
+
+    def test_plans_deterministic_and_venue_invariant(self):
+        # The plan is a pure function of (task, cost model, knobs): the
+        # serial, pool, and distributed venues must derive byte-identical
+        # span sets, or journal fingerprints could not replay across them.
+        task = _hetero_tasks()[0]
+        serial = SerialRunner(schedule="cost")
+        pool = ProcessPoolRunner(2, min_parallel_runs=0, schedule="cost")
+        dist = DistributedRunner(["127.0.0.1:9"], schedule="cost")
+        plans = {tuple(r._plan(task)) for r in (serial, pool, dist)}
+        assert len(plans) == 1
+        assert serial._plan(task) == serial._plan(task)
+
+    def test_expensive_tasks_get_smaller_chunks(self):
+        runner = SerialRunner(schedule="cost")
+        tasks = _hetero_tasks()
+        gk_plan = runner._plan(tasks[0])
+        single_plan = runner._plan(tasks[1])
+        assert len(gk_plan) > len(single_plan)
+
+    def test_pool_cost_schedule_matches_serial(self):
+        tasks = _hetero_tasks()
+        serial = SerialRunner(schedule="cost")
+        expected = serial.run(_hetero_tasks())
+        pool = ProcessPoolRunner(2, min_parallel_runs=0, schedule="cost")
+        got = pool.run(tasks)
+        assert got == expected
+        if pool.last_stats.backend == "process-pool":
+            # LPT dispatch must not change the consumed span set.
+            assert sorted(pool.last_stats.chunk_spans) == sorted(
+                serial.last_stats.chunk_spans
+            )
+
+    def test_observability_fields(self):
+        runner = SerialRunner(schedule="cost")
+        runner.run(_hetero_tasks(n_runs=40))
+        stats = runner.last_stats
+        assert stats.schedule == "cost"
+        assert all(c.predicted_cost > 0 for c in stats.chunks)
+        exported = run_stats_to_dict(stats)
+        assert exported["schedule"] == "cost"
+        assert "predicted_cost" in chunk_stats_to_dict(stats.chunks[0])
+        # GK chunks predict heavier than single-round chunks per run.
+        by_task = {}
+        for c in stats.chunks:
+            by_task.setdefault(c.task_index, c.predicted_cost / c.n_runs)
+        assert by_task[0] > by_task[1]
+
+    def test_uniform_runs_still_report_predicted_cost(self):
+        runner = SerialRunner(schedule="uniform", chunk_size=16)
+        runner.run(_hetero_tasks(n_runs=40))
+        stats = runner.last_stats
+        assert stats.schedule == "uniform"
+        assert any(c.predicted_cost > 0 for c in stats.chunks)
+
+    def test_unmodelled_tasks_keep_uniform_plan(self):
+        task = ExecutionTask(
+            DummyProtocol(make_swap(8)), _passive(), 100, seed=("sched", 9)
+        )
+        cost = SerialRunner(schedule="cost")
+        uniform = SerialRunner(schedule="uniform", chunk_size=None)
+        assert cost._plan(task) == uniform._plan(task)
+        cost.run([task])
+        assert all(
+            c.predicted_cost == 0.0 for c in cost.last_stats.chunks
+        )
+
+    def test_cost_resume_replays_across_venues(self, tmp_path):
+        # Journal written under the cost schedule by the serial venue,
+        # resumed by the pool venue: every span must replay, proving the
+        # cost plan (and its fingerprints) is venue-invariant.
+        from repro.runtime import RunJournal
+
+        first = SerialRunner(
+            schedule="cost", journal=RunJournal(tmp_path)
+        )
+        expected = first.run(_hetero_tasks())
+        resumed = ProcessPoolRunner(
+            2, min_parallel_runs=0, schedule="cost",
+            journal=RunJournal(tmp_path, resume=True),
+        )
+        got = resumed.run(_hetero_tasks())
+        assert got == expected
+        stats = resumed.last_stats
+        assert stats.journal_replayed_chunks == first.last_stats.n_chunks
+        assert all(c.engine == "journal" for c in stats.chunks)
+
+
+# -- E21 claims --------------------------------------------------------------
+
+
+class TestE21Claims:
+    def test_registered_for_every_covered_family(self):
+        from repro.verify import default_registry
+
+        registry = default_registry()
+        ids = {c.claim_id for c in registry.select("E21")}
+        assert ids == {
+            "E21-opt2sfe", "E21-single", "E21-gradual",
+            "E21-gk", "E21-nsfe", "E21-gmw",
+        }
+
+    def test_all_pass_exactly_and_replay(self):
+        from repro.analysis import deterministic_payload, report_to_dict
+        from repro.verify import verify_claims
+
+        report = verify_claims("E21", budget="small", seed="e21-test")
+        assert report.exit_code == 0
+        for check in report.checks:
+            assert check.measurement.value == 0.0
+            assert check.tolerance == 0.0
+        replay = verify_claims("E21", budget="small", seed="e21-test")
+        assert deterministic_payload(
+            report_to_dict(report)
+        ) == deterministic_payload(report_to_dict(replay))
