@@ -1,0 +1,218 @@
+"""Service smoke: concurrent clients, one execution, CLI-identical bytes.
+
+Boots a real ``repro serve`` subprocess on an ephemeral port, fires N
+concurrent identical ``verify_claims`` submissions at it, and asserts
+the service contract end to end:
+
+1. every client gets the same content-addressed job id, the dedupe
+   counter records N-1 hits, and the pool executed exactly once;
+2. every client's ``deterministic_payload`` is byte-identical;
+3. those bytes equal the ``deterministic_payload`` of the artifact a
+   plain serial ``repro verify --json-out`` run writes — the service
+   venue changes *where* the work runs, never *what* it computes;
+4. the dedupe/rate-limit counters are exported through RunStats.
+
+Writes a JSON artifact (``--out``) recording the counters and payload
+hash; exits non-zero with a diagnostic on any violation.  CI runs this
+as the ``service-smoke`` job and uploads the artifact.
+
+Usage::
+
+    PYTHONPATH=src python examples/service_smoke.py --out service-smoke.json
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+CLAIMS = "E2,E3"
+BUDGET = "small"
+SEED = "ci"
+N_CLIENTS = 3
+
+REQUEST = {"claims": CLAIMS, "budget": BUDGET, "seed": SEED}
+
+
+def _env():
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def rpc(port, method, params=None, request_id=1, timeout=120):
+    body = {"jsonrpc": "2.0", "id": request_id, "method": method}
+    if params is not None:
+        body["params"] = params
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}/",
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        reply = json.loads(resp.read())
+    if "error" in reply:
+        raise AssertionError(f"{method} failed: {reply['error']}")
+    return reply["result"]
+
+
+def canonical_bytes(payload) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def cli_reference_payload(workdir: Path) -> dict:
+    """The serial CLI artifact the service must reproduce byte-for-byte."""
+    out = workdir / "cli-verify.json"
+    subprocess.run(
+        [sys.executable, "-m", "repro", "--seed", SEED, "verify",
+         "--claims", CLAIMS, "--budget", BUDGET, "--json", str(out)],
+        check=True,
+        env=_env(),
+        stdout=subprocess.DEVNULL,
+        timeout=600,
+    )
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.analysis.export import deterministic_payload
+
+    return deterministic_payload(json.loads(out.read_text()))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="service-smoke.json",
+                        help="artifact path (default service-smoke.json)")
+    args = parser.parse_args()
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        print(f"[smoke] serial CLI reference: repro verify --claims {CLAIMS}")
+        reference = cli_reference_payload(workdir)
+
+        print("[smoke] booting repro serve --listen 127.0.0.1:0")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--listen", "127.0.0.1:0"],
+            stdout=subprocess.PIPE,
+            env=_env(),
+            text=True,
+        )
+        try:
+            announce = json.loads(proc.stdout.readline())
+            assert announce["event"] == "listening", announce
+            port = announce["port"]
+            print(f"[smoke] listening on 127.0.0.1:{port}")
+
+            submissions, results, errors = [], [], []
+            barrier = threading.Barrier(N_CLIENTS)
+
+            def client(i):
+                try:
+                    barrier.wait(10)
+                    sub = rpc(port, "verify_claims", REQUEST, request_id=i)
+                    submissions.append(sub)
+                    results.append(rpc(
+                        port, "job.result",
+                        {"job_id": sub["job_id"], "timeout_s": 300},
+                        request_id=i,
+                    ))
+                except Exception as exc:
+                    errors.append(f"client {i}: {exc}")
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(N_CLIENTS)]
+            t0 = time.monotonic()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(600)
+            wall = time.monotonic() - t0
+            if errors:
+                failures.extend(errors)
+
+            stats = rpc(port, "service.stats")
+            rpc(port, "service.shutdown", {"drain": True})
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+            proc.stdout.close()
+
+        job_ids = {s["job_id"] for s in submissions}
+        if len(job_ids) != 1:
+            failures.append(f"expected one job id, got {job_ids}")
+        if stats.get("executed") != 1:
+            failures.append(f"expected exactly 1 execution, got "
+                            f"{stats.get('executed')}")
+        if stats.get("dedup_hits") != N_CLIENTS - 1:
+            failures.append(f"expected {N_CLIENTS - 1} dedup hits, got "
+                            f"{stats.get('dedup_hits')}")
+
+        digests = {
+            hashlib.sha256(
+                canonical_bytes(r["deterministic_payload"])
+            ).hexdigest()
+            for r in results
+        }
+        if len(digests) != 1:
+            failures.append(f"payloads differ across clients: {digests}")
+
+        reference_digest = hashlib.sha256(
+            canonical_bytes(reference)
+        ).hexdigest()
+        if digests and digests != {reference_digest}:
+            failures.append(
+                "service payload differs from serial CLI artifact: "
+                f"{digests} != {reference_digest}"
+            )
+
+        run_stats = results[0]["run_stats"] if results else []
+        if not run_stats or "service_dedup_hits" not in run_stats[-1]:
+            failures.append("service counters missing from RunStats export")
+
+        artifact = {
+            "request": REQUEST,
+            "clients": N_CLIENTS,
+            "wall_clock_s": wall,
+            "job_id": sorted(job_ids),
+            "service_stats": stats,
+            "payload_sha256": sorted(digests),
+            "cli_payload_sha256": reference_digest,
+            "payload_matches_cli": digests == {reference_digest},
+            "run_stats_service_counters": (
+                {
+                    "service_dedup_hits":
+                        run_stats[-1].get("service_dedup_hits"),
+                    "service_rate_limited":
+                        run_stats[-1].get("service_rate_limited"),
+                }
+                if run_stats else None
+            ),
+            "failures": failures,
+        }
+        Path(args.out).write_text(json.dumps(artifact, indent=2,
+                                             sort_keys=True))
+        print(f"[smoke] artifact written: {args.out}")
+
+    if failures:
+        for failure in failures:
+            print(f"[smoke] FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"[smoke] ok: {N_CLIENTS} clients, 1 execution, "
+          f"{stats['dedup_hits']} dedup hits, payload == CLI "
+          f"({reference_digest[:12]}…)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -160,6 +160,8 @@ def run_stats_to_dict(stats: RunStats) -> dict:
         "execution_backend": stats.execution_backend,
         "vectorized_runs": stats.vectorized_runs,
         "schedule": stats.schedule,
+        "service_dedup_hits": stats.service_dedup_hits,
+        "service_rate_limited": stats.service_rate_limited,
         "chunks": [chunk_stats_to_dict(c) for c in stats.chunks],
     }
 

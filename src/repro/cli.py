@@ -14,6 +14,10 @@ Commands
                    0 (all ok) / 1 (violated) / 2 (bad claim spec)
 ``worker``         serve chunk executions to a distributed coordinator
                    (``repro worker --listen HOST:PORT``)
+``serve``          serve the whole experiment surface as a JSON-RPC job
+                   API with content-addressed dedupe, streaming partial
+                   RunStats, and per-tenant rate limits
+                   (``repro serve --listen HOST:PORT``)
 ``chaos``          run a seeded, reproducible chaos campaign: compose
                    fault dimensions (injected chunk faults, worker
                    kills, interrupts, cache/journal corruption) over
@@ -494,6 +498,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after serving one coordinator session (test/CI mode)",
     )
 
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="serve the whole experiment surface as a JSON-RPC job API "
+        "(estimate_utility, sweep_strategies, fault_sensitivity, "
+        "verify_claims)",
+    )
+    serve_cmd.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="address to listen on (default 127.0.0.1:0 — port 0 lets "
+        "the OS pick; the chosen port is announced on stdout as JSON "
+        "and reported by the service.info method)",
+    )
+    serve_cmd.add_argument(
+        "--service-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="job-executor threads; each job gets its own batch runner "
+        "built from the global runner flags (default 2)",
+    )
+
     return parser
 
 
@@ -862,24 +889,70 @@ def cmd_chaos(args, registry):
     return "\n".join(lines), report.exit_code
 
 
+def _parse_listen(text: str):
+    """Split a ``--listen HOST:PORT`` value (port 0 = OS-assigned)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(f"--listen must be HOST:PORT, got {text!r}")
+    try:
+        port = int(port)
+    except ValueError:
+        raise SystemExit(f"--listen port must be an integer, got {port!r}")
+    return host, port
+
+
 def cmd_worker(args, registry) -> str:
     """Run a distributed worker server until interrupted (or, with
     ``--once``, until its first coordinator disconnects)."""
     from .runtime.distributed import serve
 
-    host, sep, port = args.listen.rpartition(":")
-    if not sep or not host:
-        raise SystemExit(
-            f"--listen must be HOST:PORT, got {args.listen!r}"
-        )
-    try:
-        port = int(port)
-    except ValueError:
-        raise SystemExit(f"--listen port must be an integer, got {port!r}")
+    host, port = _parse_listen(args.listen)
     try:
         serve(host, port, once=args.once)
     except KeyboardInterrupt:
         pass
+    return ""
+
+
+def cmd_serve(args, registry) -> str:
+    """Run the fairness service until interrupted.
+
+    Each job executes on a fresh runner built from the same global
+    flags every other command honours (``--jobs``, ``--cache``,
+    ``--backend``, ``--workers``, ...), so a service job and the
+    equivalent CLI invocation share chunk-cache entries and produce
+    byte-identical ``deterministic_payload``s.
+    """
+    from .service import ServiceServer
+
+    host, port = _parse_listen(args.listen)
+    if args.service_workers < 1:
+        raise SystemExit(
+            f"--service-workers must be positive, got {args.service_workers}"
+        )
+
+    def runner_factory():
+        return _build_runner(args)
+
+    try:
+        server = ServiceServer(
+            host, port,
+            runner_factory=runner_factory,
+            workers=args.service_workers,
+        )
+        server.bind()
+    except ValueError as exc:
+        # Malformed REPRO_SERVICE_* knobs: a usage error, like argparse's.
+        raise SystemExit(f"repro: {exc}")
+    except OSError as exc:
+        raise SystemExit(f"repro: cannot bind {host}:{port}: {exc}")
+    server.announce()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown(drain=True)
     return ""
 
 
@@ -894,6 +967,7 @@ COMMANDS = {
     "profile": cmd_profile,
     "verify": cmd_verify,
     "worker": cmd_worker,
+    "serve": cmd_serve,
     "chaos": cmd_chaos,
 }
 

@@ -225,6 +225,7 @@ class DistributedRunner(BatchRunner):
                 fault=self.fault, cache=self.cache, backend=self.exec_backend,
                 journal=self.journal, schedule=self.schedule,
             )
+            serial.chunk_observer = self.chunk_observer
             try:
                 return serial.run(tasks, early_stop=early_stop)
             finally:
@@ -233,7 +234,7 @@ class DistributedRunner(BatchRunner):
                     self.stats_history.append(serial.last_stats)
 
         t0 = time.perf_counter()
-        log = BatchLog()
+        log = BatchLog(observer=self.chunk_observer)
         log.task_weights = self._batch_weights(tasks)
         state = _BatchState(self, tasks, specs, early_stop, log)
         interrupted: Optional[BaseException] = None

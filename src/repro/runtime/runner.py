@@ -256,6 +256,11 @@ class BatchRunner:
         self.last_stats: Optional[RunStats] = None
         #: Every batch's RunStats, oldest first (the CLI ``--stats`` dump).
         self.stats_history: List[RunStats] = []
+        #: Optional callable invoked with each :class:`ChunkStats` as it
+        #: resolves, mid-batch (see ``BatchLog.observer``).  The service
+        #: venue sets this to stream chunk-granularity partials to
+        #: clients; ``None`` (the default) costs nothing.
+        self.chunk_observer = None
 
     def history_mark(self) -> int:
         """Bookmark the stats history before a multi-batch measurement."""
@@ -477,7 +482,7 @@ class SerialRunner(BatchRunner):
     def run(self, tasks: Sequence, early_stop: Optional[EarlyStopRule] = None) -> List:
         tasks = list(tasks)
         t0 = time.perf_counter()
-        log = BatchLog()
+        log = BatchLog(observer=self.chunk_observer)
         log.task_weights = self._batch_weights(tasks)
         values: List = []
         stopped_any = False
@@ -626,6 +631,7 @@ class ProcessPoolRunner(BatchRunner):
                 backend=self.exec_backend, journal=self.journal,
                 schedule=self.schedule,
             )
+            serial.chunk_observer = self.chunk_observer
             try:
                 return serial.run(tasks, early_stop=early_stop)
             finally:
@@ -636,7 +642,7 @@ class ProcessPoolRunner(BatchRunner):
         t0 = time.perf_counter()
         plans = [self._plan(task) for task in tasks]
         values: List = [None] * len(tasks)
-        log = BatchLog()
+        log = BatchLog(observer=self.chunk_observer)
         log.task_weights = self._batch_weights(tasks)
         stopped_any = False
         interrupted: Optional[BaseException] = None

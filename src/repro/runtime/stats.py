@@ -145,6 +145,12 @@ class RunStats:
     execution_backend: str = "reference"
     vectorized_runs: int = 0
     schedule: str = "uniform"
+    #: Service venue only (``repro serve``): snapshots of the job pool's
+    #: dedupe and rate-limit counters, stamped onto the batch by
+    #: ``service.jobs.JobPool`` when the job completes.  Zero for every
+    #: batch that did not run under the service.
+    service_dedup_hits: int = 0
+    service_rate_limited: int = 0
     chunks: Tuple[ChunkStats, ...] = ()
 
     @property
@@ -206,9 +212,16 @@ class BatchLog:
     Folded into an immutable :class:`RunStats` by
     ``BatchRunner._record`` — kept separate so the stats can be recorded
     in a ``finally`` even when a chunk ultimately raises.
+
+    ``observer``, when set, is called with each :class:`ChunkStats` the
+    moment it is appended — the hook the service venue uses to stream
+    chunk-granularity partials to clients while the batch is still
+    running.  Observer exceptions are swallowed: a slow or broken
+    subscriber must never fail the batch.
     """
 
-    def __init__(self):
+    def __init__(self, observer=None):
+        self.observer = observer
         self.n_chunks = 0
         self.executions = 0
         self.failed_attempts = 0
@@ -260,39 +273,16 @@ class BatchLog:
         remote host that computed them.
         """
         inst = inst or {}
-        cache_state = ""
-        if inst.get("cache_hits"):
-            cache_state = "hit"
-        elif inst.get("cache_stores"):
-            cache_state = "stored"
-        if outcome == "journaled":
-            engine = "journal"
-        elif cache_state == "hit":
-            engine = "cache"
-        elif inst.get("vectorized_runs"):
-            engine = "vectorized"
-        else:
-            engine = "reference"
-        self.chunks.append(
-            ChunkStats(
-                task_index,
-                start,
-                stop,
-                attempts,
-                outcome,
-                backend,
-                wall_clock_s,
-                setup_s=inst.get("setup_s", 0.0),
-                execute_s=inst.get("execute_s", 0.0),
-                classify_s=inst.get("classify_s", 0.0),
-                cache=cache_state,
-                engine=engine,
-                worker=worker,
-                predicted_cost=(
-                    self.task_weights.get(task_index, 0.0) * (stop - start)
-                ),
-            )
+        record = self._build_chunk(
+            task_index, start, stop, attempts, outcome, backend,
+            wall_clock_s, inst, worker,
         )
+        self.chunks.append(record)
+        if self.observer is not None:
+            try:
+                self.observer(record)
+            except Exception:
+                pass
         self.setup_s += inst.get("setup_s", 0.0)
         self.execute_s += inst.get("execute_s", 0.0)
         self.classify_s += inst.get("classify_s", 0.0)
@@ -313,6 +303,50 @@ class BatchLog:
                 self.serial_replays += 1
             elif outcome == "journaled":
                 self.journal_replayed += 1
+
+    def _build_chunk(
+        self,
+        task_index: int,
+        start: int,
+        stop: int,
+        attempts: int,
+        outcome: str,
+        backend: str,
+        wall_clock_s: float,
+        inst: dict,
+        worker: str,
+    ) -> ChunkStats:
+        cache_state = ""
+        if inst.get("cache_hits"):
+            cache_state = "hit"
+        elif inst.get("cache_stores"):
+            cache_state = "stored"
+        if outcome == "journaled":
+            engine = "journal"
+        elif cache_state == "hit":
+            engine = "cache"
+        elif inst.get("vectorized_runs"):
+            engine = "vectorized"
+        else:
+            engine = "reference"
+        return ChunkStats(
+            task_index,
+            start,
+            stop,
+            attempts,
+            outcome,
+            backend,
+            wall_clock_s,
+            setup_s=inst.get("setup_s", 0.0),
+            execute_s=inst.get("execute_s", 0.0),
+            classify_s=inst.get("classify_s", 0.0),
+            cache=cache_state,
+            engine=engine,
+            worker=worker,
+            predicted_cost=(
+                self.task_weights.get(task_index, 0.0) * (stop - start)
+            ),
+        )
 
 
 class MeasuredCounts(EventCounts):

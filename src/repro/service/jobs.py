@@ -1,0 +1,299 @@
+"""The pending-job pool: dedupe, execution, streaming, lifecycle.
+
+One :class:`Job` per distinct content-addressed job key.  Submissions
+are checked against the pool's job table *atomically* under one lock:
+a key already pending, running, or completed attaches to the existing
+job (a **dedup hit** — the second client gets the same job id and,
+eventually, the byte-identical payload) instead of executing again.
+Failed and cancelled jobs are evicted on resubmission so a transient
+error is not cached forever.
+
+Each worker thread builds a fresh :class:`BatchRunner` per job from the
+pool's ``runner_factory`` and points the runner's ``chunk_observer`` at
+the job, so every resolved chunk is appended to the job's event list
+the moment it exists — the chunk-granularity stream ``job.stream``
+serves — and ``history_mark``/``stats_since`` bracket the job's batches
+for the final RunStats export.  On completion the last batch's stats
+are stamped with the pool's dedupe/rate-limit counters
+(``service_dedup_hits``/``service_rate_limited``), so the service's
+admission-control behaviour is visible in the same artefact stream as
+every other runtime counter.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional
+
+from ..analysis.export import (
+    chunk_stats_to_dict,
+    deterministic_payload,
+    run_stats_to_dict,
+)
+from .ratelimit import resolve_service_queue
+
+#: Job lifecycle states, in order of appearance.
+JOB_STATES = ("pending", "running", "done", "failed", "cancelled")
+
+#: States from which a job will never produce a result.
+DEAD_STATES = ("failed", "cancelled")
+
+
+class QueueFull(RuntimeError):
+    """Pool at capacity; submission refused (JSON-RPC ``QUEUE_FULL``)."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        super().__init__(f"job pool at capacity ({limit})")
+
+
+class PoolClosed(RuntimeError):
+    """Pool shutting down; submission refused (``SHUTTING_DOWN``)."""
+
+
+class Job:
+    """One deduplicated unit of work and its observable trail."""
+
+    def __init__(self, key: str, method: str, canon: dict,
+                 fn: Callable[[object, dict], dict]):
+        self.key = key
+        self.method = method
+        self.canon = canon
+        self.fn = fn
+        self.state = "pending"
+        self.submissions = 1
+        self.error: Optional[str] = None
+        self.result: Optional[dict] = None
+        self.cancel_requested = False
+        self.done = threading.Event()
+        self._lock = threading.Lock()
+        self._events: List[dict] = []
+
+    # -- streaming -----------------------------------------------------------
+
+    def on_chunk(self, chunk) -> None:
+        """``BatchRunner.chunk_observer`` target: one resolved chunk."""
+        record = chunk_stats_to_dict(chunk)
+        with self._lock:
+            record["seq"] = len(self._events)
+            self._events.append(record)
+
+    def events_since(self, cursor: int):
+        """Events ``cursor`` onward plus the next cursor (monotonic)."""
+        with self._lock:
+            return list(self._events[cursor:]), len(self._events)
+
+    def progress(self) -> dict:
+        with self._lock:
+            events = list(self._events)
+        executed = sum(
+            e["stop"] - e["start"]
+            for e in events
+            if e["outcome"] != "cancelled"
+        )
+        return {"chunks": len(events), "executions": executed}
+
+    def status(self) -> dict:
+        body = {
+            "job_id": self.key,
+            "method": self.method,
+            "state": self.state,
+            "submissions": self.submissions,
+            "progress": self.progress(),
+        }
+        if self.error is not None:
+            body["error"] = self.error
+        return body
+
+
+class JobPool:
+    """Bounded worker pool keyed by content-addressed job ids."""
+
+    def __init__(
+        self,
+        runner_factory: Optional[Callable[[], object]] = None,
+        queue_limit: Optional[int] = None,
+        workers: int = 2,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.queue_limit = resolve_service_queue(queue_limit)
+        self.runner_factory = runner_factory
+        self.counters: Dict[str, int] = {
+            "submitted": 0,
+            "executed": 0,
+            "dedup_hits": 0,
+            "rate_limited": 0,
+            "queue_rejections": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+        }
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-service-job-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, key: str, method: str, canon: dict,
+               fn: Callable[[object, dict], dict]):
+        """Admit (or dedupe) one canonical request.
+
+        Returns ``(job, deduped)``.  The existence check and the
+        insertion happen under one lock, so N concurrent identical
+        submissions race to create exactly one job and the other N-1
+        all count as dedup hits — the property the e2e suite pins.
+        """
+        with self._lock:
+            if self._closed:
+                raise PoolClosed("service is shutting down")
+            job = self._jobs.get(key)
+            if job is not None and job.state not in DEAD_STATES:
+                job.submissions += 1
+                self.counters["dedup_hits"] += 1
+                return job, True
+            active = sum(
+                1 for j in self._jobs.values()
+                if j.state in ("pending", "running")
+            )
+            if active >= self.queue_limit:
+                self.counters["queue_rejections"] += 1
+                raise QueueFull(self.queue_limit)
+            job = Job(key, method, canon, fn)
+            self._jobs[key] = job
+            self.counters["submitted"] += 1
+            self._queue.put(job)
+            return job, False
+
+    def note_rate_limited(self) -> None:
+        with self._lock:
+            self.counters["rate_limited"] += 1
+
+    def get(self, key: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(key)
+
+    def cancel(self, key: str):
+        """Best-effort cancel: pending jobs die, running jobs finish.
+
+        Returns ``(job, cancelled_now)`` — ``job`` is ``None`` for an
+        unknown key.
+        """
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is None:
+                return None, False
+            if job.state != "pending":
+                return job, False
+            job.cancel_requested = True
+            return job, True
+
+    def stats(self) -> dict:
+        with self._lock:
+            counters = dict(self.counters)
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+        counters["jobs_by_state"] = states
+        counters["queue_limit"] = self.queue_limit
+        return counters
+
+    # -- execution -----------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            if job.cancel_requested:
+                self._finish(job, "cancelled")
+                continue
+            self._run(job)
+
+    def _run(self, job: Job) -> None:
+        job.state = "running"
+        with self._lock:
+            self.counters["executed"] += 1
+        try:
+            if self.runner_factory is not None:
+                runner = self.runner_factory()
+            else:
+                from ..runtime import resolve_runner
+
+                runner = resolve_runner()
+            runner.chunk_observer = job.on_chunk
+            mark = runner.history_mark()
+            artifact = job.fn(runner, job.canon)
+            stats = self._stamp(runner.stats_since(mark))
+        except Exception as exc:  # the job fails; the pool survives
+            job.error = f"{type(exc).__name__}: {exc}"
+            self._finish(job, "failed")
+        else:
+            job.result = {
+                "job": {
+                    "job_id": job.key,
+                    "method": job.method,
+                    "params": job.canon,
+                },
+                "artifact": artifact,
+                "deterministic_payload": deterministic_payload(artifact),
+                "run_stats": [run_stats_to_dict(s) for s in stats],
+            }
+            self._finish(job, "done")
+
+    def _stamp(self, stats):
+        """Stamp the job's final batch with the pool's service counters."""
+        if not stats:
+            return stats
+        with self._lock:
+            dedup = self.counters["dedup_hits"]
+            limited = self.counters["rate_limited"]
+        return stats[:-1] + [
+            replace(
+                stats[-1],
+                service_dedup_hits=dedup,
+                service_rate_limited=limited,
+            )
+        ]
+
+    def _finish(self, job: Job, state: str) -> None:
+        job.state = state
+        with self._lock:
+            key = {"done": "completed"}.get(state, state)
+            self.counters[key] += 1
+        job.done.set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None):
+        """Stop the pool.
+
+        ``drain=True`` lets queued jobs finish; ``drain=False`` cancels
+        everything still pending.  Worker threads are joined either
+        way, so a clean ``close`` leaks nothing (the e2e suite counts
+        threads before and after).
+        """
+        with self._lock:
+            self._closed = True
+        if not drain:
+            with self._lock:
+                pending = [
+                    j for j in self._jobs.values() if j.state == "pending"
+                ]
+            for job in pending:
+                job.cancel_requested = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for t in self._threads:
+            t.join(timeout)

@@ -1,0 +1,152 @@
+"""JSON-RPC 2.0 message plumbing for the fairness service.
+
+Pure functions only: request parsing/validation against the JSON-RPC 2.0
+envelope rules, response/error body construction, and the error-code
+vocabulary the service documents.  The HTTP transport lives in
+``service.server``; method semantics live in ``service.methods``.
+
+Error codes
+-----------
+The spec codes are used exactly as defined by JSON-RPC 2.0:
+
+========================  =======  ==========================================
+name                      code     raised when
+========================  =======  ==========================================
+``PARSE_ERROR``           -32700   body is not valid JSON
+``INVALID_REQUEST``       -32600   JSON is not a valid request envelope
+``METHOD_NOT_FOUND``      -32601   unknown method name
+``INVALID_PARAMS``        -32602   params fail canonicalization/validation
+``INTERNAL_ERROR``        -32603   unexpected server-side failure
+========================  =======  ==========================================
+
+Server-defined codes use the reserved -32000..-32099 band:
+
+========================  =======  ==========================================
+``JOB_NOT_FOUND``         -32001   ``job.*`` call names an unknown job key
+``JOB_NOT_DONE``          -32002   ``job.result`` before the job finished
+``JOB_FAILED``            -32003   ``job.result`` for a failed job
+``JOB_CANCELLED``         -32004   ``job.result`` for a cancelled job
+``RATE_LIMITED``          -32029   tenant token bucket empty (HTTP 429 kin;
+                                   ``data.retry_after_s`` says when to retry)
+``QUEUE_FULL``            -32053   pending-job pool at capacity (HTTP 503
+                                   kin; resubmit later, the job key will
+                                   dedupe against any concurrent winner)
+``SHUTTING_DOWN``         -32054   submission after ``service.shutdown``
+========================  =======  ==========================================
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+JSONRPC_VERSION = "2.0"
+
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+INTERNAL_ERROR = -32603
+
+JOB_NOT_FOUND = -32001
+JOB_NOT_DONE = -32002
+JOB_FAILED = -32003
+JOB_CANCELLED = -32004
+RATE_LIMITED = -32029
+QUEUE_FULL = -32053
+SHUTTING_DOWN = -32054
+
+#: Default human message per code (overridable per response).
+MESSAGES = {
+    PARSE_ERROR: "Parse error",
+    INVALID_REQUEST: "Invalid Request",
+    METHOD_NOT_FOUND: "Method not found",
+    INVALID_PARAMS: "Invalid params",
+    INTERNAL_ERROR: "Internal error",
+    JOB_NOT_FOUND: "Job not found",
+    JOB_NOT_DONE: "Job not done",
+    JOB_FAILED: "Job failed",
+    JOB_CANCELLED: "Job cancelled",
+    RATE_LIMITED: "Rate limited",
+    QUEUE_FULL: "Queue full",
+    SHUTTING_DOWN: "Shutting down",
+}
+
+
+class RpcError(Exception):
+    """A JSON-RPC error destined for the client, not a server crash."""
+
+    def __init__(self, code: int, message: Optional[str] = None, data=None):
+        self.code = code
+        self.message = message or MESSAGES.get(code, "Server error")
+        self.data = data
+        super().__init__(f"{self.code}: {self.message}")
+
+    def body(self, request_id) -> dict:
+        return error_body(request_id, self.code, self.message, self.data)
+
+
+def result_body(request_id, result) -> dict:
+    return {"jsonrpc": JSONRPC_VERSION, "id": request_id, "result": result}
+
+
+def error_body(request_id, code: int, message: Optional[str] = None,
+               data=None) -> dict:
+    error = {"code": code, "message": message or MESSAGES.get(code, "Server error")}
+    if data is not None:
+        error["data"] = data
+    return {"jsonrpc": JSONRPC_VERSION, "id": request_id, "error": error}
+
+
+def _valid_id(value) -> bool:
+    # Per spec: string, number, or null.  Fractional ids are legal JSON
+    # numbers; bools are not ids.
+    if isinstance(value, bool):
+        return False
+    return value is None or isinstance(value, (str, int, float))
+
+
+def parse_request(raw: bytes) -> dict:
+    """Decode and validate one JSON-RPC 2.0 request envelope.
+
+    Returns the request dict.  Raises :class:`RpcError` with
+    ``PARSE_ERROR`` for undecodable bodies and ``INVALID_REQUEST`` for
+    well-formed JSON that is not a valid request.  Batch requests
+    (arrays) are deliberately unsupported: each job submission should be
+    its own HTTP round-trip so rate limiting stays per-request.
+    """
+    try:
+        request = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise RpcError(PARSE_ERROR, data=str(exc))
+    if isinstance(request, list):
+        raise RpcError(
+            INVALID_REQUEST, data="batch requests are not supported"
+        )
+    if not isinstance(request, dict):
+        raise RpcError(INVALID_REQUEST, data="request must be an object")
+    if request.get("jsonrpc") != JSONRPC_VERSION:
+        raise RpcError(
+            INVALID_REQUEST, data='missing or wrong "jsonrpc" version'
+        )
+    method = request.get("method")
+    if not isinstance(method, str) or not method:
+        raise RpcError(
+            INVALID_REQUEST, data='"method" must be a non-empty string'
+        )
+    if "params" in request and not isinstance(request["params"], (dict, list)):
+        raise RpcError(
+            INVALID_REQUEST, data='"params" must be an object or array'
+        )
+    if "id" in request and not _valid_id(request["id"]):
+        raise RpcError(
+            INVALID_REQUEST, data='"id" must be a string, number, or null'
+        )
+    return request
+
+
+def dumps(body: Any) -> bytes:
+    """Canonical response encoding: sorted keys, no wasted whitespace."""
+    return json.dumps(
+        body, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")

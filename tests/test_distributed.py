@@ -494,15 +494,20 @@ class TestEndToEnd:
     def test_unreachable_fleet_falls_back_to_serial(self):
         protocol, factory = _workload()
         clean = _clean_serial(protocol, factory, 40, seed=7)
-        # Grab a port that is certainly not listening.
+        # Hold a bound-but-not-listening socket for the whole test: the
+        # port stays reserved (connects get ECONNREFUSED) instead of the
+        # old bind/close dance, which let the OS re-issue the port to
+        # another process between close() and the runner's connect.
         probe = socket.socket()
-        probe.bind(("127.0.0.1", 0))
-        port = probe.getsockname()[1]
-        probe.close()
-        runner = DistributedRunner(
-            [("127.0.0.1", port)], connect_timeout_s=0.3, fault=NO_FAULTS,
-        )
-        counts = run_batch(protocol, factory, 40, seed=7, runner=runner)
+        try:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+            runner = DistributedRunner(
+                [("127.0.0.1", port)], connect_timeout_s=0.3, fault=NO_FAULTS,
+            )
+            counts = run_batch(protocol, factory, 40, seed=7, runner=runner)
+        finally:
+            probe.close()
         assert counts == clean
         assert runner.last_stats.backend == "serial"
 
